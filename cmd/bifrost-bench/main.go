@@ -1,0 +1,73 @@
+// Command bifrost-bench regenerates the Chapter 4 evaluation
+// artifacts: the end-user overhead measurement (Fig 4.6 / Table 4.1)
+// over real HTTP, and the engine-performance sweeps over parallel
+// strategies (Figs 4.7/4.8) and check counts (Figs 4.9/4.10).
+//
+// Usage:
+//
+//	bifrost-bench -artifact all
+//	bifrost-bench -artifact 4.6 -requests 3000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"contexp/internal/bifrost"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bifrost-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bifrost-bench", flag.ContinueOnError)
+	artifact := fs.String("artifact", "all", "which artifact: 4.6, 4.7, 4.9, or all")
+	requests := fs.Int("requests", 1500, "requests per arm for the overhead measurement")
+	serviceMs := fs.Float64("service-ms", 5, "mean backend service time (ms)")
+	phase := fs.Duration("phase", 2*time.Second, "duration of each strategy phase")
+	runDur := fs.Duration("run", 2*time.Second, "duration of each scaling measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := func(id string) bool { return *artifact == "all" || *artifact == id }
+
+	if want("4.6") {
+		cfg := bifrost.OverheadConfig{
+			Requests:      *requests,
+			ServiceTimeMs: *serviceMs,
+			PhaseDuration: *phase,
+			Seed:          1,
+		}
+		fig, err := bifrost.EvalFigure4_6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	if want("4.7") || want("4.8") {
+		cfg := bifrost.DefaultParallelConfig()
+		cfg.RunDuration = *runDur
+		res, err := bifrost.EvalFigure4_7And4_8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if want("4.9") || want("4.10") {
+		cfg := bifrost.DefaultChecksConfig()
+		cfg.RunDuration = *runDur
+		res, err := bifrost.EvalFigure4_9And4_10(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	return nil
+}

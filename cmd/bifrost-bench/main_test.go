@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScalingArtifacts(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-artifact", "4.7", "-run", "200ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figures 4.7 / 4.8") {
+		t.Errorf("output missing scaling table:\n%s", out.String())
+	}
+}
+
+func TestRunOverheadArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real HTTP measurement")
+	}
+	var out strings.Builder
+	err := run([]string{"-artifact", "4.6", "-requests", "100", "-service-ms", "1", "-phase", "200ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 4.1", "overhead"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-requests", "many"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

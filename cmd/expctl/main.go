@@ -1,0 +1,50 @@
+// Command expctl is the operator utility for experimentation-as-code:
+// it parses and validates strategy DSL files and prints the resulting
+// state machine (the textual Fig 4.2).
+//
+// Usage:
+//
+//	expctl validate strategy.exp   # parse + semantic checks
+//	expctl show strategy.exp       # print the state machine
+//	expctl fmt strategy.exp        # print the canonical DSL form
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"contexp/internal/bifrost"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "expctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: expctl <validate|show> <file.exp>")
+	}
+	cmd, path := args[0], args[1]
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	strategy, err := bifrost.ParseStrategy(string(src))
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "validate":
+		fmt.Printf("%s: strategy %q is valid (%d phases)\n", path, strategy.Name, len(strategy.Phases))
+	case "show":
+		fmt.Print(strategy.StateMachine())
+	case "fmt":
+		fmt.Print(bifrost.WriteDSL(strategy))
+	default:
+		return fmt.Errorf("unknown command %q (want validate, show, or fmt)", cmd)
+	}
+	return nil
+}

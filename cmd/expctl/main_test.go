@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const validStrategy = `
+strategy "demo" {
+    service = "svc"
+    baseline = "v1"
+    candidate = "v2"
+    phase "canary" {
+        practice = canary
+        traffic = 5%
+        duration = 5m
+        on success -> promote
+    }
+}
+`
+
+func writeStrategy(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.exp")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateAndShow(t *testing.T) {
+	path := writeStrategy(t, validStrategy)
+	if err := run([]string{"validate", path}); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+	if err := run([]string{"show", path}); err != nil {
+		t.Errorf("show: %v", err)
+	}
+	if err := run([]string{"fmt", path}); err != nil {
+		t.Errorf("fmt: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing args should fail")
+	}
+	if err := run([]string{"validate", "/nonexistent/file.exp"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := writeStrategy(t, `strategy "x" {`)
+	if err := run([]string{"validate", bad}); err == nil {
+		t.Error("invalid DSL should fail")
+	}
+	good := writeStrategy(t, validStrategy)
+	if err := run([]string{"frobnicate", good}); err == nil {
+		t.Error("unknown command should fail")
+	}
+}

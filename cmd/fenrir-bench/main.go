@@ -1,0 +1,104 @@
+// Command fenrir-bench regenerates the Chapter 3 evaluation artifacts:
+// the traffic profile and consumption view (Fig 3.3), the fitness
+// comparison for 15 experiments (Fig 3.4 / Table 3.2), the scaling
+// study (Fig 3.5 / Table 3.3), the reevaluation study (Fig 3.6), and
+// the experiment input table (Table 3.1).
+//
+// Usage:
+//
+//	fenrir-bench -artifact all -budget 3000 -runs 5
+//	fenrir-bench -artifact 3.5 -ns 10,20,30,40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"contexp/internal/fenrir"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fenrir-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fenrir-bench", flag.ContinueOnError)
+	artifact := fs.String("artifact", "all", "which artifact to regenerate: 3.1, 3.3, 3.4, 3.5, 3.6, or all")
+	budget := fs.Int("budget", 3000, "fitness evaluations per optimizer run")
+	runs := fs.Int("runs", 5, "independent seeds per configuration")
+	days := fs.Int("days", 14, "traffic profile length in days")
+	seed := fs.Int64("seed", 1, "base random seed")
+	ns := fs.String("ns", "10,20,30,40", "experiment counts for the scaling study")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := fenrir.EvalConfig{Budget: *budget, Runs: *runs, Days: *days, Seed: *seed}
+
+	want := func(id string) bool { return *artifact == "all" || *artifact == id }
+
+	if want("3.1") {
+		tbl, err := fenrir.Table3_1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl)
+	}
+	if want("3.3") {
+		fig, err := fenrir.EvalFigure3_3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	if want("3.4") {
+		fig, err := fenrir.EvalFigure3_4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	if want("3.5") {
+		sizes, err := parseInts(*ns)
+		if err != nil {
+			return err
+		}
+		fig, err := fenrir.EvalFigure3_5(cfg, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+		fmt.Fprintln(out, fig.RenderTable3_3())
+	}
+	if want("3.6") {
+		fig, err := fenrir.EvalFigure3_6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllArtifactsSmall(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-artifact", "all", "-budget", "300", "-runs", "1", "-ns", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 3.1", "Figure 3.3", "Figure 3.4", "Figure 3.5", "Table 3.3", "Figure 3.6",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleArtifact(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-artifact", "3.3", "-budget", "300", "-runs", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Figure 3.4") {
+		t.Error("single-artifact run produced other artifacts")
+	}
+	if !strings.Contains(out.String(), "Figure 3.3") {
+		t.Error("requested artifact missing")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-budget", "nope"}, &out); err == nil {
+		t.Error("bad flag value should fail")
+	}
+	if err := run([]string{"-artifact", "3.5", "-ns", "10,x"}, &out); err == nil {
+		t.Error("bad ns list should fail")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 10, 20 ,30,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("a"); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"contexp/internal/study"
+)
+
+func TestTablesOutput(t *testing.T) {
+	out := study.Generate(1).AllTables()
+	for _, want := range []string{
+		"Table 2.1", "Figure 2.3", "Table 2.2", "Table 2.8", "Table 2.9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

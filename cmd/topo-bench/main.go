@@ -1,0 +1,102 @@
+// Command topo-bench regenerates the Chapter 5 evaluation artifacts:
+// ranking quality on the two release scenarios (Figs 5.6 and 5.8) and
+// heuristic performance on synthetic graphs (Figs 5.9 and 5.10).
+//
+// Usage:
+//
+//	topo-bench -artifact all
+//	topo-bench -artifact 5.9 -sizes 500,1000,2000,4000,10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"contexp/internal/health"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topo-bench", flag.ContinueOnError)
+	artifact := fs.String("artifact", "all", "which artifact: 5.6, 5.8, 5.9, 5.10, or all")
+	traces := fs.Int("traces", 500, "traces per variant for the ranking scenarios")
+	sizes := fs.String("sizes", "500,1000,2000,4000,10000", "graph sizes (endpoints) for Fig 5.9")
+	endpoints := fs.Int("endpoints", 4000, "graph size for Fig 5.10")
+	seed := fs.Int64("seed", 1, "random seed")
+	diff := fs.Bool("diff", false, "also print the topological difference of each scenario")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := func(id string) bool { return *artifact == "all" || *artifact == id }
+
+	if want("5.6") {
+		fig, err := health.EvalFigure5_6(*traces, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+		if *diff {
+			for _, r := range fig.Results {
+				fmt.Fprintln(out, r.Diff.Render())
+			}
+		}
+	}
+	if want("5.8") {
+		fig, err := health.EvalFigure5_8(*traces, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+		if *diff {
+			for _, r := range fig.Results {
+				fmt.Fprintln(out, r.Diff.Render())
+			}
+		}
+	}
+	if want("5.9") {
+		ns, err := parseInts(*sizes)
+		if err != nil {
+			return err
+		}
+		fig, err := health.EvalFigure5_9(ns, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	if want("5.10") {
+		fig, err := health.EvalFigure5_10(*endpoints, nil, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

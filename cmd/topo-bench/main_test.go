@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllArtifactsSmall(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-artifact", "all", "-traces", "100",
+		"-sizes", "200,400", "-endpoints", "400", "-diff",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Figure 5.6", "Figure 5.8", "Figure 5.9", "Figure 5.10",
+		"nDCG5", "topological difference",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunScenarioOnly(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-artifact", "5.6", "-traces", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Figure 5.9") {
+		t.Error("unexpected artifact in output")
+	}
+}
+
+func TestRunBadSizes(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-artifact", "5.9", "-sizes", "bad"}, &out); err == nil {
+		t.Error("expected error for bad sizes")
+	}
+}

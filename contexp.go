@@ -1,0 +1,130 @@
+// Package contexp is a framework for continuous experimentation in
+// microservice-based applications, reproducing the systems of
+// "Continuous Experimentation for Software Developers" (Schermann,
+// MIDDLEWARE 2017 / University of Zurich 2019):
+//
+//   - Planning — Fenrir: search-based scheduling of experiments under
+//     traffic, sample-size, and user-group-overlap constraints
+//     (Chapter 3).
+//   - Execution — Bifrost: automated enactment of multi-phase live
+//     testing strategies (canary → dark launch → A/B test → gradual
+//     rollout) written in an experimentation-as-code DSL, on top of
+//     runtime traffic routing (Chapter 4).
+//   - Analysis — topology-aware health assessment: change detection
+//     and impact ranking from distributed traces (Chapter 5).
+//
+// This package is the public facade: it re-exports the stable surface
+// of the internal packages so downstream users have one import. The
+// substrates (metrics store, tracing collector, routing table,
+// microservice simulator, load generator) are re-exported where a user
+// composes them; everything else stays internal.
+package contexp
+
+import (
+	"contexp/internal/bifrost"
+	"contexp/internal/expmodel"
+	"contexp/internal/fenrir"
+	"contexp/internal/health"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+	"contexp/internal/traffic"
+)
+
+// --- Execution (Bifrost) ---
+
+type (
+	// Strategy is a multi-phase live testing strategy.
+	Strategy = bifrost.Strategy
+	// Phase is one state of a strategy's state machine.
+	Phase = bifrost.Phase
+	// Check is a timed health criterion.
+	Check = bifrost.Check
+	// Engine executes strategies concurrently.
+	Engine = bifrost.Engine
+	// EngineConfig parameterizes NewEngine.
+	EngineConfig = bifrost.Config
+	// Run is one executing or finished strategy.
+	Run = bifrost.Run
+)
+
+// ParseStrategy parses the experimentation-as-code DSL.
+func ParseStrategy(src string) (*Strategy, error) { return bifrost.ParseStrategy(src) }
+
+// NewEngine creates a strategy execution engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return bifrost.NewEngine(cfg) }
+
+// --- Planning (Fenrir) ---
+
+type (
+	// SchedulingProblem bundles experiments, traffic, and constraints.
+	SchedulingProblem = fenrir.Problem
+	// PlannedExperiment is the planning-phase experiment definition.
+	PlannedExperiment = fenrir.Experiment
+	// Schedule assigns an execution plan to every experiment.
+	Schedule = fenrir.Schedule
+	// Optimizer searches for high-fitness schedules.
+	Optimizer = fenrir.Optimizer
+	// GeneticAlgorithm is the recommended optimizer.
+	GeneticAlgorithm = fenrir.GeneticAlgorithm
+	// ReevalInput describes a schedule reevaluation request.
+	ReevalInput = fenrir.ReevalInput
+	// ReevalResult is the reduced problem plus its seed schedule.
+	ReevalResult = fenrir.ReevalResult
+)
+
+// Reevaluate re-plans an existing schedule after cancellations and
+// arrivals.
+func Reevaluate(p *SchedulingProblem, s *Schedule, in ReevalInput) (*ReevalResult, error) {
+	return fenrir.Reevaluate(p, s, in)
+}
+
+// --- Analysis (health assessment) ---
+
+type (
+	// TopologyDiff is the topological difference of two variants.
+	TopologyDiff = health.Diff
+	// TopologyChange is one classified change.
+	TopologyChange = health.Change
+	// RankingHeuristic orders changes by potential impact.
+	RankingHeuristic = health.Heuristic
+)
+
+// CompareTopologies diffs baseline and experimental interaction graphs.
+var CompareTopologies = health.Compare
+
+// RankChanges orders a diff's changes with a heuristic.
+var RankChanges = health.Rank
+
+// AllRankingHeuristics returns the six heuristic variations.
+var AllRankingHeuristics = health.AllHeuristics
+
+// --- Substrates users compose with ---
+
+type (
+	// MetricStore is the in-memory telemetry store checks query.
+	MetricStore = metrics.Store
+	// RoutingTable is the runtime traffic routing table.
+	RoutingTable = router.Table
+	// TrafficProfile drives experiment scheduling.
+	TrafficProfile = traffic.Profile
+	// UserGroup identifies a user segment.
+	UserGroup = expmodel.UserGroup
+	// Practice is a continuous-experimentation practice.
+	Practice = expmodel.Practice
+)
+
+// NewMetricStore creates a telemetry store (capacity <= 0 uses the
+// default).
+func NewMetricStore(capacity int) *MetricStore { return metrics.NewStore(capacity) }
+
+// NewRoutingTable creates an empty routing table.
+func NewRoutingTable() *RoutingTable { return router.NewTable() }
+
+// Experimentation practices.
+const (
+	PracticeCanary         = expmodel.PracticeCanary
+	PracticeDarkLaunch     = expmodel.PracticeDarkLaunch
+	PracticeABTest         = expmodel.PracticeABTest
+	PracticeGradualRollout = expmodel.PracticeGradualRollout
+	PracticeBlueGreen      = expmodel.PracticeBlueGreen
+)

@@ -1,0 +1,93 @@
+// Health-assessment example: the topology-aware analysis of Chapter 5
+// applied to a release of the simulated shop. Traces of the baseline
+// and experimental user populations are turned into interaction
+// graphs, diffed, and the identified changes are ranked by all six
+// heuristics.
+//
+//	go run ./examples/healthcheck
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"contexp/internal/health"
+	"contexp/internal/metrics"
+	"contexp/internal/microsim"
+	"contexp/internal/router"
+	"contexp/internal/stats"
+	"contexp/internal/topology"
+	"contexp/internal/tracing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "healthcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	app, err := microsim.ShopApplication()
+	if err != nil {
+		return err
+	}
+	// Inject a latency regression into the new recommender so the
+	// response-time heuristics have something to find.
+	sv, err := app.Lookup("recommendation", "v2")
+	if err != nil {
+		return err
+	}
+	sv.Endpoints["GET /recommendations"].Latency = stats.LogNormalFromMeanP95(60, 150)
+
+	collect := func(useV2 bool, variant tracing.Variant) (*topology.Graph, error) {
+		table := router.NewTable()
+		if err := microsim.InstallBaselineRoutes(app, table); err != nil {
+			return nil, err
+		}
+		if useV2 {
+			if err := table.SetWeights("recommendation", []router.Backend{
+				{Version: "v2", Weight: 1},
+			}); err != nil {
+				return nil, err
+			}
+		}
+		collector := tracing.NewCollector()
+		sim := microsim.NewSim(app, table, collector, metrics.NewStore(1024), 1)
+		start := time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+		for i := 0; i < 500; i++ {
+			req := &router.Request{UserID: fmt.Sprintf("user-%04d", i)}
+			if _, err := sim.Execute(req, start.Add(time.Duration(i)*time.Second)); err != nil {
+				return nil, err
+			}
+		}
+		return topology.Build(variant, collector.Traces("")), nil
+	}
+
+	base, err := collect(false, tracing.VariantBaseline)
+	if err != nil {
+		return err
+	}
+	exp, err := collect(true, tracing.VariantExperiment)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline:     %s\n", base)
+	fmt.Printf("experimental: %s\n\n", exp)
+
+	diff := health.Compare(base, exp)
+	fmt.Println(diff.Render())
+
+	for _, h := range health.AllHeuristics() {
+		ranked := health.Rank(h, diff)
+		fmt.Printf("%-18s top changes:\n", h.Name())
+		for i, c := range ranked {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  %d. %s\n", i+1, c)
+		}
+	}
+	return nil
+}

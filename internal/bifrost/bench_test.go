@@ -1,0 +1,40 @@
+package bifrost
+
+import "testing"
+
+func BenchmarkParseStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseStrategy(sampleDSL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteDSL(b *testing.B) {
+	s, err := ParseStrategy(sampleDSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := WriteDSL(s); len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+func BenchmarkVerifyPairwise(b *testing.B) {
+	strategies := make([]*Strategy, 20)
+	for i := range strategies {
+		s := validStrategy()
+		s.Name = s.Name + string(rune('a'+i))
+		s.Service = "svc-" + string(rune('a'+i))
+		strategies[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Verify(strategies); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

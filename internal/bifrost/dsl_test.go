@@ -1,0 +1,275 @@
+package bifrost
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+)
+
+const sampleDSL = `
+# The AB Inc recommendation rollout.
+strategy "recommendation-rollout" {
+    service   = "recommendation"
+    baseline  = "v1"
+    candidate = "v2"
+
+    phase "canary" {
+        practice    = canary
+        traffic     = 5%
+        duration    = 10m
+        min-samples = 200
+        check "latency" {
+            metric    = response_time
+            aggregate = p95
+            max       = 250
+            window    = 30s
+            interval  = 10s
+            failures  = 3
+        }
+        check "regression" {
+            metric    = response_time
+            aggregate = mean
+            scope     = relative
+            max       = 1.25
+            interval  = 15s
+        }
+        on success      -> phase "dark"
+        on failure      -> rollback
+        on inconclusive -> retry
+        max-retries = 2
+    }
+
+    phase "dark" {
+        practice = dark-launch
+        duration = 5m
+        check "errors" {
+            metric    = errors
+            aggregate = count
+            max       = 10
+            interval  = 30s
+        }
+        on success -> phase "ab"
+    }
+
+    phase "ab" {
+        practice = ab-test
+        traffic  = 50%
+        duration = 1h
+        check "conversion" {
+            metric    = conversion
+            aggregate = mean
+            scope     = relative
+            min       = 0.95
+            interval  = 5m
+        }
+        on success -> phase "rollout"
+        on failure -> rollback
+    }
+
+    phase "rollout" {
+        practice      = gradual-rollout
+        steps         = 25%, 50%, 75%, 100%
+        step-duration = 5m
+        check "latency" {
+            metric    = response_time
+            aggregate = p95
+            max       = 250
+        }
+        on success -> promote
+        on failure -> rollback
+    }
+}
+`
+
+func TestParseSampleDSL(t *testing.T) {
+	s, err := ParseStrategy(sampleDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "recommendation-rollout" || s.Service != "recommendation" ||
+		s.Baseline != "v1" || s.Candidate != "v2" {
+		t.Fatalf("header = %+v", s)
+	}
+	if len(s.Phases) != 4 {
+		t.Fatalf("phases = %d", len(s.Phases))
+	}
+
+	canary := s.Phases[0]
+	if canary.Practice != expmodel.PracticeCanary {
+		t.Errorf("practice = %v", canary.Practice)
+	}
+	if canary.Traffic.CandidateWeight != 0.05 {
+		t.Errorf("traffic = %v", canary.Traffic.CandidateWeight)
+	}
+	if canary.Duration != 10*time.Minute {
+		t.Errorf("duration = %v", canary.Duration)
+	}
+	if canary.MinSamples != 200 || canary.MaxRetries != 2 {
+		t.Errorf("samples/retries = %d/%d", canary.MinSamples, canary.MaxRetries)
+	}
+	if len(canary.Checks) != 2 {
+		t.Fatalf("canary checks = %d", len(canary.Checks))
+	}
+	lat := canary.Checks[0]
+	if lat.Metric != "response_time" || lat.Aggregation != metrics.AggP95 ||
+		!lat.Upper || lat.Threshold != 250 || lat.Window != 30*time.Second ||
+		lat.Interval != 10*time.Second || lat.FailuresToTrip != 3 {
+		t.Errorf("latency check = %+v", lat)
+	}
+	reg := canary.Checks[1]
+	if reg.Scope != ScopeRelative || reg.Threshold != 1.25 {
+		t.Errorf("regression check = %+v", reg)
+	}
+	if canary.OnSuccess.Kind != TransitionGoto || canary.OnSuccess.Target != "dark" {
+		t.Errorf("canary success = %+v", canary.OnSuccess)
+	}
+	if canary.OnFailure.Kind != TransitionRollback {
+		t.Errorf("canary failure = %+v", canary.OnFailure)
+	}
+	if canary.OnInconclusive.Kind != TransitionRetry {
+		t.Errorf("canary inconclusive = %+v", canary.OnInconclusive)
+	}
+
+	dark := s.Phases[1]
+	if dark.Practice != expmodel.PracticeDarkLaunch || !dark.Traffic.Mirror {
+		t.Errorf("dark = %+v", dark)
+	}
+
+	ab := s.Phases[2]
+	if ab.Checks[0].Upper {
+		t.Error("min check should be a lower bound")
+	}
+
+	rollout := s.Phases[3]
+	wantSteps := []float64{0.25, 0.5, 0.75, 1.0}
+	if len(rollout.Traffic.Steps) != 4 {
+		t.Fatalf("steps = %v", rollout.Traffic.Steps)
+	}
+	for i, w := range wantSteps {
+		if rollout.Traffic.Steps[i] != w {
+			t.Errorf("step %d = %v, want %v", i, rollout.Traffic.Steps[i], w)
+		}
+	}
+	if rollout.Traffic.StepDuration != 5*time.Minute {
+		t.Errorf("step duration = %v", rollout.Traffic.StepDuration)
+	}
+	if rollout.OnSuccess.Kind != TransitionPromote {
+		t.Errorf("rollout success = %+v", rollout.OnSuccess)
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	src := `
+strategy "beta" {
+    service = "catalog"
+    baseline = "v1"
+    candidate = "v2"
+    phase "beta-users" {
+        practice = canary
+        traffic  = 0%
+        groups   = beta, staff
+        duration = 5m
+        on success -> promote
+    }
+}
+`
+	s, err := ParseStrategy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := s.Phases[0].Traffic.Groups
+	if len(groups) != 2 || groups[0] != "beta" || groups[1] != "staff" {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		src     string
+		wantSub string
+	}{
+		{"not a strategy", `phase "x" {}`, `expected "strategy"`},
+		{"unterminated string", `strategy "x`, "unterminated"},
+		{"missing brace", `strategy "x"`, "expected {"},
+		{"unknown attribute", `strategy "x" { color = "red" }`, "unknown strategy attribute"},
+		{"unknown phase attribute", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { wibble = 3 } }`, "unknown phase attribute"},
+		{"bad practice", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = teleport } }`, "unknown practice"},
+		{"bad duration", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary duration = 10 } }`, "bad duration"},
+		{"traffic above 100%", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = 150% } }`, "outside"},
+		{"unknown action", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = 5% duration = 1m
+			on success -> explode } }`, "unknown action"},
+		{"unknown outcome", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = 5% duration = 1m
+			on sadness -> rollback } }`, "unknown outcome"},
+		{"unknown check attribute", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = 5% duration = 1m
+			check "c" { metric = rt aggregate = mean max = 1 sparkle = 2 } } }`, "unknown check attribute"},
+		{"unknown scope", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = 5% duration = 1m
+			check "c" { metric = rt aggregate = mean max = 1 scope = sideways } } }`, "unknown check scope"},
+		{"bad aggregation", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = 5% duration = 1m
+			check "c" { metric = rt aggregate = wat max = 1 } } }`, "unknown aggregation"},
+		{"trailing garbage", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = 5% duration = 1m on success -> promote } } extra`, "unexpected"},
+		{"semantic: goto unknown", `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = 5% duration = 1m
+			on success -> phase "ghost" } }`, "unknown phase"},
+		{"bad character", `strategy "x" { service=@ }`, "unexpected character"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseStrategy(tt.src)
+			if err == nil {
+				t.Fatal("expected parse error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q missing %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+strategy "x" { # trailing comment
+    service = "s"  // another
+    baseline = "a"
+    candidate = "b"
+    phase "p" {
+        practice = canary
+        traffic = 5%
+        duration = 1m
+        on success -> promote
+    }
+}
+`
+	if _, err := ParseStrategy(src); err != nil {
+		t.Fatalf("comments broke parsing: %v", err)
+	}
+}
+
+func TestParsePercentForms(t *testing.T) {
+	// "0.05" (fraction) and "5%" (percent) are equivalent.
+	for _, traffic := range []string{"5%", "0.05"} {
+		src := `strategy "x" { service="s" baseline="a" candidate="b"
+			phase "p" { practice = canary traffic = ` + traffic + ` duration = 1m on success -> promote } }`
+		s, err := ParseStrategy(src)
+		if err != nil {
+			t.Fatalf("%s: %v", traffic, err)
+		}
+		if got := s.Phases[0].Traffic.CandidateWeight; got != 0.05 {
+			t.Errorf("traffic %s parsed as %v", traffic, got)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package bifrost
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+)
+
+func TestWriteDSLRoundTripSample(t *testing.T) {
+	orig, err := ParseStrategy(sampleDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := WriteDSL(orig)
+	back, err := ParseStrategy(rendered)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, rendered)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip changed the strategy:\noriginal: %+v\nback:     %+v", orig, back)
+	}
+}
+
+// randomStrategy generates a structurally valid strategy for the
+// round-trip property test.
+func randomStrategy(rng *rand.Rand) *Strategy {
+	s := &Strategy{
+		Name:      "strat",
+		Service:   "svc",
+		Baseline:  "v1",
+		Candidate: "v2",
+	}
+	nPhases := 1 + rng.Intn(4)
+	for i := 0; i < nPhases; i++ {
+		p := Phase{Name: "phase-" + string(rune('a'+i))}
+		switch rng.Intn(4) {
+		case 0:
+			p.Practice = expmodel.PracticeCanary
+			p.Traffic.CandidateWeight = float64(1+rng.Intn(99)) / 100
+			p.Duration = time.Duration(1+rng.Intn(60)) * time.Minute
+		case 1:
+			p.Practice = expmodel.PracticeABTest
+			p.Traffic.CandidateWeight = 0.5
+			p.Duration = time.Duration(1+rng.Intn(24)) * time.Hour
+		case 2:
+			p.Practice = expmodel.PracticeDarkLaunch
+			p.Traffic.Mirror = true
+			p.Duration = time.Duration(1+rng.Intn(60)) * time.Minute
+		default:
+			p.Practice = expmodel.PracticeGradualRollout
+			nSteps := 1 + rng.Intn(4)
+			for j := 0; j < nSteps; j++ {
+				p.Traffic.Steps = append(p.Traffic.Steps, float64(j+1)/float64(nSteps))
+			}
+			p.Traffic.StepDuration = time.Duration(1+rng.Intn(30)) * time.Minute
+		}
+		if rng.Intn(2) == 0 {
+			p.MinSamples = 1 + rng.Intn(1000)
+		}
+		if rng.Intn(2) == 0 {
+			p.MaxRetries = 1 + rng.Intn(3)
+		}
+		nChecks := rng.Intn(3)
+		for j := 0; j < nChecks; j++ {
+			c := Check{
+				Name:        "check-" + string(rune('a'+j)),
+				Metric:      "response_time",
+				Aggregation: []metrics.Aggregation{metrics.AggMean, metrics.AggP95, metrics.AggCount}[rng.Intn(3)],
+				Scope:       []CheckScope{ScopeCandidate, ScopeBaseline, ScopeRelative}[rng.Intn(3)],
+				Upper:       rng.Intn(2) == 0,
+				Threshold:   float64(1 + rng.Intn(500)),
+			}
+			if c.Scope == ScopeRelative {
+				c.Threshold = 1 + rng.Float64() // positive factor
+			}
+			if rng.Intn(2) == 0 {
+				c.Window = time.Duration(1+rng.Intn(120)) * time.Second
+			}
+			if rng.Intn(2) == 0 {
+				c.Interval = time.Duration(1+rng.Intn(60)) * time.Second
+			}
+			if rng.Intn(2) == 0 {
+				c.FailuresToTrip = 1 + rng.Intn(5)
+			}
+			p.Checks = append(p.Checks, c)
+		}
+		// Transitions: zero value (default) or explicit.
+		trs := []Transition{
+			{}, {Kind: TransitionNext}, {Kind: TransitionRollback},
+			{Kind: TransitionPromote}, {Kind: TransitionRetry}, {Kind: TransitionAbort},
+		}
+		p.OnSuccess = trs[rng.Intn(len(trs))]
+		p.OnFailure = trs[rng.Intn(len(trs))]
+		p.OnInconclusive = trs[rng.Intn(len(trs))]
+		s.Phases = append(s.Phases, p)
+	}
+	// Add one goto to a known phase for coverage.
+	if len(s.Phases) > 1 {
+		s.Phases[0].OnSuccess = Transition{Kind: TransitionGoto, Target: s.Phases[len(s.Phases)-1].Name}
+	}
+	return s
+}
+
+func TestWriteDSLRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		orig := randomStrategy(rng)
+		if err := orig.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid strategy: %v", trial, err)
+		}
+		rendered := WriteDSL(orig)
+		back, err := ParseStrategy(rendered)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse failed: %v\n%s", trial, err, rendered)
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Fatalf("trial %d: round trip diverged\noriginal: %+v\nback:     %+v\nsource:\n%s",
+				trial, orig, back, rendered)
+		}
+	}
+}
+
+func TestWriteDSLFractionalTraffic(t *testing.T) {
+	s := validStrategy()
+	s.Phases[0].Traffic.CandidateWeight = 0.125 // 12.5%: not an integer percent
+	out := WriteDSL(s)
+	back, err := ParseStrategy(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if back.Phases[0].Traffic.CandidateWeight != 0.125 {
+		t.Errorf("weight = %v", back.Phases[0].Traffic.CandidateWeight)
+	}
+}

@@ -1,0 +1,632 @@
+package bifrost
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contexp/internal/clock"
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+)
+
+// RunStatus is the lifecycle state of a strategy run.
+type RunStatus int
+
+// Run states.
+const (
+	StatusRunning RunStatus = iota + 1
+	// StatusSucceeded: the candidate was promoted to all users.
+	StatusSucceeded
+	// StatusRolledBack: users were rerouted to the baseline after a
+	// failed phase.
+	StatusRolledBack
+	// StatusAborted: the run ended without touching routing.
+	StatusAborted
+)
+
+// String names the status.
+func (s RunStatus) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusSucceeded:
+		return "succeeded"
+	case StatusRolledBack:
+		return "rolled-back"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// EventType classifies run events.
+type EventType string
+
+// Event types.
+const (
+	EventPhaseEntered EventType = "phase-entered"
+	EventCheckResult  EventType = "check-result"
+	EventPhaseOutcome EventType = "phase-outcome"
+	EventTransition   EventType = "transition"
+	EventRunFinished  EventType = "run-finished"
+	EventRolloutStep  EventType = "rollout-step"
+)
+
+// Event is one entry of a run's audit trail.
+type Event struct {
+	At      time.Time
+	Type    EventType
+	Phase   string
+	Check   string
+	Outcome Outcome
+	Detail  string
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Table is the routing table the engine manipulates (required).
+	Table *router.Table
+	// Store is the metric store checks query (required).
+	Store *metrics.Store
+	// DefaultCheckInterval applies to checks without an Interval
+	// (default 10s).
+	DefaultCheckInterval time.Duration
+	// SampleMetric is the series counted against Phase.MinSamples
+	// (default "requests").
+	SampleMetric string
+}
+
+// Engine executes live testing strategies concurrently: the Bifrost
+// middleware core (Fig 4.4). One goroutine drives each run's state
+// machine; checks are multiplexed on per-run timers; routing changes go
+// through the shared router table.
+type Engine struct {
+	cfg Config
+
+	mu   sync.Mutex
+	runs map[string]*Run
+
+	// Instrumentation for the engine-performance evaluation
+	// (Figs 4.7–4.10): total time spent evaluating checks, evaluation
+	// count, and the delay between a check's due time and its actual
+	// evaluation.
+	evalBusy  atomic.Int64 // nanoseconds
+	evalCount atomic.Int64
+
+	delayMu sync.Mutex
+	delays  []time.Duration
+}
+
+// NewEngine creates an Engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Table == nil {
+		return nil, errors.New("bifrost: engine requires a routing table")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("bifrost: engine requires a metric store")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.DefaultCheckInterval <= 0 {
+		cfg.DefaultCheckInterval = 10 * time.Second
+	}
+	if cfg.SampleMetric == "" {
+		cfg.SampleMetric = "requests"
+	}
+	return &Engine{cfg: cfg, runs: make(map[string]*Run)}, nil
+}
+
+// Run is one executing (or finished) strategy.
+type Run struct {
+	strategy *Strategy
+	engine   *Engine
+
+	mu       sync.Mutex
+	status   RunStatus
+	phaseIdx int
+	events   []Event
+
+	done   chan struct{}
+	cancel chan struct{}
+	// cancelOnce guards cancel closure.
+	cancelOnce sync.Once
+}
+
+// Launch validates the strategy, installs the all-baseline route, and
+// starts executing. Strategy names must be unique among live runs.
+func (e *Engine) Launch(s *Strategy) (*Run, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if existing, ok := e.runs[s.Name]; ok && existing.Status() == StatusRunning {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("bifrost: strategy %q is already running", s.Name)
+	}
+	run := &Run{
+		strategy: s,
+		engine:   e,
+		status:   StatusRunning,
+		done:     make(chan struct{}),
+		cancel:   make(chan struct{}),
+	}
+	e.runs[s.Name] = run
+	e.mu.Unlock()
+
+	if err := e.routeBaseline(s); err != nil {
+		e.mu.Lock()
+		delete(e.runs, s.Name)
+		e.mu.Unlock()
+		return nil, err
+	}
+	go run.loop()
+	return run, nil
+}
+
+// Get returns the run for a strategy name.
+func (e *Engine) Get(name string) (*Run, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.runs[name]
+	return r, ok
+}
+
+// Runs returns all runs (live and finished).
+func (e *Engine) Runs() []*Run {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Run, 0, len(e.runs))
+	for _, r := range e.runs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// EngineMetrics is an instrumentation snapshot.
+type EngineMetrics struct {
+	// Evaluations is the number of check evaluations performed.
+	Evaluations int64
+	// BusyTime is the cumulative time spent evaluating checks; divided
+	// by wall time it approximates the engine's CPU utilization
+	// (Figs 4.7 and 4.9).
+	BusyTime time.Duration
+	// Delays are the observed lags between check due times and actual
+	// evaluations (Figs 4.8 and 4.10). Capped at 100k samples.
+	Delays []time.Duration
+}
+
+// Metrics returns a copy of the instrumentation counters.
+func (e *Engine) Metrics() EngineMetrics {
+	e.delayMu.Lock()
+	delays := make([]time.Duration, len(e.delays))
+	copy(delays, e.delays)
+	e.delayMu.Unlock()
+	return EngineMetrics{
+		Evaluations: e.evalCount.Load(),
+		BusyTime:    time.Duration(e.evalBusy.Load()),
+		Delays:      delays,
+	}
+}
+
+// ResetMetrics clears the instrumentation counters.
+func (e *Engine) ResetMetrics() {
+	e.evalBusy.Store(0)
+	e.evalCount.Store(0)
+	e.delayMu.Lock()
+	e.delays = nil
+	e.delayMu.Unlock()
+}
+
+const maxDelaySamples = 100_000
+
+func (e *Engine) recordDelay(d time.Duration) {
+	e.delayMu.Lock()
+	if len(e.delays) < maxDelaySamples {
+		e.delays = append(e.delays, d)
+	}
+	e.delayMu.Unlock()
+}
+
+// --- Run accessors ---
+
+// Status returns the run's lifecycle state.
+func (r *Run) Status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// CurrentPhase returns the active phase name ("" when finished).
+func (r *Run) CurrentPhase() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusRunning || r.phaseIdx < 0 || r.phaseIdx >= len(r.strategy.Phases) {
+		return ""
+	}
+	return r.strategy.Phases[r.phaseIdx].Name
+}
+
+// Events returns a copy of the audit trail.
+func (r *Run) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Done is closed when the run finishes.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Abort cancels the run; the current phase concludes as aborted without
+// routing changes.
+func (r *Run) Abort() {
+	r.cancelOnce.Do(func() { close(r.cancel) })
+}
+
+// Strategy returns the run's strategy.
+func (r *Run) Strategy() *Strategy { return r.strategy }
+
+func (r *Run) record(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// --- execution ---
+
+func (r *Run) loop() {
+	defer close(r.done)
+	e := r.engine
+	s := r.strategy
+	retries := make(map[string]int, len(s.Phases))
+
+	idx := 0
+	for {
+		if idx < 0 || idx >= len(s.Phases) {
+			// Walked past the last phase: promote.
+			r.finish(StatusSucceeded, e.routeCandidate(s))
+			return
+		}
+		r.mu.Lock()
+		r.phaseIdx = idx
+		r.mu.Unlock()
+		phase := &s.Phases[idx]
+
+		outcome, aborted := r.executePhase(phase)
+		if aborted {
+			r.finish(StatusAborted, nil)
+			return
+		}
+		r.record(Event{At: e.cfg.Clock.Now(), Type: EventPhaseOutcome, Phase: phase.Name, Outcome: outcome})
+
+		var tr Transition
+		switch outcome {
+		case OutcomePass:
+			tr = phase.successTransition()
+		case OutcomeFail:
+			tr = phase.failureTransition()
+		default:
+			tr = phase.inconclusiveTransition()
+			if tr.Kind == TransitionRetry {
+				retries[phase.Name]++
+				if retries[phase.Name] > phase.maxRetries() {
+					// Retries exhausted: treat as failure.
+					tr = phase.failureTransition()
+				}
+			}
+		}
+		r.record(Event{At: e.cfg.Clock.Now(), Type: EventTransition, Phase: phase.Name,
+			Detail: describeTransition(tr)})
+
+		switch tr.Kind {
+		case TransitionNext:
+			idx++
+		case TransitionGoto:
+			idx = s.phaseIndex(tr.Target)
+		case TransitionRetry:
+			// Re-execute the same phase.
+		case TransitionRollback:
+			r.finish(StatusRolledBack, e.routeBaseline(s))
+			return
+		case TransitionPromote:
+			r.finish(StatusSucceeded, e.routeCandidate(s))
+			return
+		case TransitionAbort:
+			r.finish(StatusAborted, nil)
+			return
+		default:
+			r.finish(StatusAborted, fmt.Errorf("bifrost: unknown transition %v", tr.Kind))
+			return
+		}
+	}
+}
+
+func (r *Run) finish(status RunStatus, routeErr error) {
+	e := r.engine
+	detail := status.String()
+	if routeErr != nil {
+		detail += "; routing error: " + routeErr.Error()
+	}
+	r.mu.Lock()
+	r.status = status
+	r.mu.Unlock()
+	r.record(Event{At: e.cfg.Clock.Now(), Type: EventRunFinished, Detail: detail})
+}
+
+// executePhase runs one phase to its conclusion. The bool result is
+// true when the run was aborted mid-phase.
+func (r *Run) executePhase(p *Phase) (Outcome, bool) {
+	e := r.engine
+	now := e.cfg.Clock.Now()
+	r.record(Event{At: now, Type: EventPhaseEntered, Phase: p.Name})
+
+	if p.Practice == expmodel.PracticeGradualRollout {
+		return r.executeRollout(p)
+	}
+	if err := e.applyTraffic(r.strategy, p, p.Traffic.CandidateWeight); err != nil {
+		r.record(Event{At: now, Type: EventCheckResult, Phase: p.Name, Detail: "routing error: " + err.Error()})
+		return OutcomeFail, false
+	}
+	return r.observe(p, now, p.Duration)
+}
+
+func (r *Run) executeRollout(p *Phase) (Outcome, bool) {
+	e := r.engine
+	for _, w := range p.Traffic.Steps {
+		now := e.cfg.Clock.Now()
+		if err := e.applyTraffic(r.strategy, p, w); err != nil {
+			return OutcomeFail, false
+		}
+		r.record(Event{At: now, Type: EventRolloutStep, Phase: p.Name,
+			Detail: fmt.Sprintf("weight=%.0f%%", w*100)})
+		outcome, aborted := r.observe(p, now, p.Traffic.StepDuration)
+		if aborted {
+			return outcome, true
+		}
+		if outcome != OutcomePass {
+			return outcome, false
+		}
+	}
+	return OutcomePass, false
+}
+
+// checkState tracks one check's consecutive failures within a phase.
+type checkState struct {
+	check    *Check
+	due      time.Time
+	failures int
+	// sawData records whether any evaluation had data.
+	sawData bool
+}
+
+// observe runs the check loop for `dur` starting at `start`. It
+// implements the timed execution of multiple checks (Fig 4.3): each
+// check fires on its own interval; a check reaching FailuresToTrip
+// consecutive failures concludes the phase immediately.
+func (r *Run) observe(p *Phase, start time.Time, dur time.Duration) (Outcome, bool) {
+	e := r.engine
+	phaseEnd := start.Add(dur)
+
+	states := make([]*checkState, len(p.Checks))
+	for i := range p.Checks {
+		c := &p.Checks[i]
+		states[i] = &checkState{check: c, due: start.Add(e.checkInterval(c))}
+	}
+
+	for {
+		now := e.cfg.Clock.Now()
+		next := phaseEnd
+		for _, st := range states {
+			if st.due.Before(next) {
+				next = st.due
+			}
+		}
+		if next.After(now) {
+			select {
+			case <-e.cfg.Clock.After(next.Sub(now)):
+			case <-r.cancel:
+				return OutcomeInconclusive, true
+			}
+		}
+		now = e.cfg.Clock.Now()
+
+		// Evaluate all due checks.
+		for _, st := range states {
+			if st.due.After(now) {
+				continue
+			}
+			e.recordDelay(now.Sub(st.due))
+			outcome, value := e.evalCheck(r.strategy, p, st.check, now)
+			r.record(Event{At: now, Type: EventCheckResult, Phase: p.Name,
+				Check: st.check.Name, Outcome: outcome,
+				Detail: fmt.Sprintf("value=%.4g", value)})
+			switch outcome {
+			case OutcomeFail:
+				st.failures++
+				st.sawData = true
+				if st.failures >= e.failuresToTrip(st.check) {
+					return OutcomeFail, false
+				}
+			case OutcomePass:
+				st.failures = 0
+				st.sawData = true
+			default:
+				// No data: does not reset or advance the failure count.
+			}
+			st.due = st.due.Add(e.checkInterval(st.check))
+		}
+
+		if !now.Before(phaseEnd) {
+			return r.concludePhase(p, start, now), false
+		}
+	}
+}
+
+// concludePhase decides the phase outcome at its natural end.
+func (r *Run) concludePhase(p *Phase, start, now time.Time) Outcome {
+	e := r.engine
+	// Sample-size gate: without enough candidate data the phase is
+	// inconclusive regardless of check outcomes.
+	if p.MinSamples > 0 {
+		scope := e.candidateScope(r.strategy, p)
+		n, err := e.cfg.Store.Query(e.cfg.SampleMetric, scope, start, metrics.AggCount)
+		if err != nil || int(n) < p.MinSamples {
+			return OutcomeInconclusive
+		}
+	}
+	outcome := OutcomePass
+	for i := range p.Checks {
+		c := &p.Checks[i]
+		res, _ := e.evalCheck(r.strategy, p, c, now)
+		switch res {
+		case OutcomeFail:
+			return OutcomeFail
+		case OutcomeInconclusive:
+			outcome = OutcomeInconclusive
+		}
+	}
+	return outcome
+}
+
+func (e *Engine) checkInterval(c *Check) time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return e.cfg.DefaultCheckInterval
+}
+
+func (e *Engine) failuresToTrip(c *Check) int {
+	if c.FailuresToTrip > 0 {
+		return c.FailuresToTrip
+	}
+	return 1
+}
+
+// candidateScope resolves where the candidate's metrics live: dark
+// launches record under the "dark" variant tag.
+func (e *Engine) candidateScope(s *Strategy, p *Phase) metrics.Scope {
+	scope := metrics.Scope{Service: s.Service, Version: s.Candidate}
+	if p.Traffic.Mirror {
+		scope.Variant = "dark"
+	}
+	return scope
+}
+
+// evalCheck evaluates one check at `now` and returns the outcome plus
+// the observed value (candidate value for relative checks).
+func (e *Engine) evalCheck(s *Strategy, p *Phase, c *Check, now time.Time) (Outcome, float64) {
+	startEval := time.Now()
+	defer func() {
+		e.evalBusy.Add(int64(time.Since(startEval)))
+		e.evalCount.Add(1)
+	}()
+
+	window := c.Window
+	if window <= 0 {
+		window = e.checkInterval(c)
+	}
+	since := now.Add(-window)
+
+	query := func(scope metrics.Scope) (float64, error) {
+		return e.cfg.Store.Query(c.Metric, scope, since, c.Aggregation)
+	}
+
+	switch c.Scope {
+	case ScopeBaseline:
+		v, err := query(metrics.Scope{Service: s.Service, Version: s.Baseline})
+		if err != nil {
+			return OutcomeInconclusive, 0
+		}
+		return compare(v, c), v
+	case ScopeRelative:
+		cand, err := query(e.candidateScope(s, p))
+		if err != nil {
+			return OutcomeInconclusive, 0
+		}
+		base, err := query(metrics.Scope{Service: s.Service, Version: s.Baseline})
+		if err != nil {
+			return OutcomeInconclusive, cand
+		}
+		bound := c.Threshold * base
+		if c.Upper {
+			if cand <= bound {
+				return OutcomePass, cand
+			}
+			return OutcomeFail, cand
+		}
+		if cand >= bound {
+			return OutcomePass, cand
+		}
+		return OutcomeFail, cand
+	default: // ScopeCandidate and zero value
+		v, err := query(e.candidateScope(s, p))
+		if err != nil {
+			return OutcomeInconclusive, 0
+		}
+		return compare(v, c), v
+	}
+}
+
+func compare(v float64, c *Check) Outcome {
+	if c.Upper {
+		if v <= c.Threshold {
+			return OutcomePass
+		}
+		return OutcomeFail
+	}
+	if v >= c.Threshold {
+		return OutcomePass
+	}
+	return OutcomeFail
+}
+
+// --- routing ---
+
+// applyTraffic installs the routing a phase requires, with the
+// candidate at the given weight (weight is the step weight for gradual
+// rollouts).
+func (e *Engine) applyTraffic(s *Strategy, p *Phase, weight float64) error {
+	route := router.Route{
+		Service: s.Service,
+		Backends: []router.Backend{
+			{Version: s.Baseline, Weight: 1 - weight},
+			{Version: s.Candidate, Weight: weight},
+		},
+		StickySalt: s.Name,
+	}
+	if p.Traffic.Mirror {
+		route.Backends = []router.Backend{{Version: s.Baseline, Weight: 1}}
+		route.Mirrors = []string{s.Candidate}
+	}
+	for _, g := range p.Traffic.Groups {
+		route.Rules = append(route.Rules, router.Rule{
+			Name:    "group-" + string(g),
+			Match:   router.GroupMatcher{Group: g},
+			Version: s.Candidate,
+		})
+	}
+	return e.cfg.Table.Set(route)
+}
+
+func (e *Engine) routeBaseline(s *Strategy) error {
+	return e.cfg.Table.Set(router.Route{
+		Service:  s.Service,
+		Backends: []router.Backend{{Version: s.Baseline, Weight: 1}},
+	})
+}
+
+func (e *Engine) routeCandidate(s *Strategy) error {
+	return e.cfg.Table.Set(router.Route{
+		Service:  s.Service,
+		Backends: []router.Backend{{Version: s.Candidate, Weight: 1}},
+	})
+}

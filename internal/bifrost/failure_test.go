@@ -1,0 +1,120 @@
+package bifrost
+
+import (
+	"testing"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+)
+
+// This file injects failures mid-run: metrics that degrade halfway
+// through a gradual rollout, and telemetry outages during later phases.
+
+// TestRollbackMidRollout degrades the candidate after the second
+// rollout step; the engine must abandon the remaining steps and reroute
+// to the baseline.
+func TestRollbackMidRollout(t *testing.T) {
+	h := newHarness(t)
+	s := &Strategy{
+		Name: "rollout", Service: "catalog", Baseline: "v1", Candidate: "v2",
+		Phases: []Phase{{
+			Name: "rollout", Practice: expmodel.PracticeGradualRollout,
+			Traffic: TrafficSpec{
+				Steps:        []float64{0.25, 0.5, 0.75, 1.0},
+				StepDuration: time.Minute,
+			},
+			Checks: []Check{{
+				Name: "latency", Metric: "response_time",
+				Aggregation: metrics.AggMean, Upper: true, Threshold: 100,
+				Interval: 10 * time.Second, Window: 15 * time.Second,
+			}},
+			OnSuccess: Transition{Kind: TransitionPromote},
+		}},
+	}
+	// Healthy for the first ~90 virtual seconds (covering step 1 and
+	// half of step 2), then a hard regression.
+	scope := metrics.Scope{Service: "catalog", Version: "v2"}
+	for ts := time.Duration(0); ts <= 10*time.Minute; ts += time.Second {
+		v := 50.0
+		if ts > 90*time.Second {
+			v = 400
+		}
+		h.store.Record("response_time", scope, t0.Add(ts), v)
+	}
+	run, err := h.engine.Launch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.drive(t, run)
+	if run.Status() != StatusRolledBack {
+		t.Fatalf("status = %v", run.Status())
+	}
+	// The rollout must not have reached the later steps.
+	var steps []string
+	for _, ev := range run.Events() {
+		if ev.Type == EventRolloutStep {
+			steps = append(steps, ev.Detail)
+		}
+	}
+	if len(steps) > 2 {
+		t.Errorf("rollout continued after degradation: %v", steps)
+	}
+	route, _ := h.table.Route("catalog")
+	if route.Backends[0].Version != "v1" || route.Backends[0].Weight != 1 {
+		t.Errorf("rollback route = %+v", route.Backends)
+	}
+}
+
+// TestTelemetryOutageMidPhase stops feeding metrics partway through the
+// phase: the final conclusion must be inconclusive (not success), since
+// the closing evaluation sees an empty window.
+func TestTelemetryOutageMidPhase(t *testing.T) {
+	h := newHarness(t)
+	s := twoPhaseStrategy()
+	s.Phases = s.Phases[:1]
+	s.Phases[0].Checks[0].Window = 15 * time.Second
+	s.Phases[0].OnInconclusive = Transition{Kind: TransitionAbort}
+	// Data only for the first 20 virtual seconds of a 60-second phase.
+	scope := metrics.Scope{Service: "catalog", Version: "v2"}
+	for ts := time.Duration(0); ts <= 20*time.Second; ts += time.Second {
+		h.store.Record("response_time", scope, t0.Add(ts), 50)
+	}
+	run, err := h.engine.Launch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.drive(t, run)
+	if run.Status() != StatusAborted {
+		t.Fatalf("status = %v, want aborted via inconclusive (telemetry outage)", run.Status())
+	}
+}
+
+// TestRecoveryAfterTransientFailure: a short failure burst below the
+// FailuresToTrip threshold must not kill the run.
+func TestRecoveryAfterTransientFailure(t *testing.T) {
+	h := newHarness(t)
+	s := twoPhaseStrategy()
+	s.Phases = s.Phases[:1]
+	s.Phases[0].OnSuccess = Transition{Kind: TransitionPromote}
+	s.Phases[0].Checks[0].FailuresToTrip = 4
+	s.Phases[0].Checks[0].Window = 10 * time.Second
+	scope := metrics.Scope{Service: "catalog", Version: "v2"}
+	for ts := time.Duration(0); ts <= 2*time.Minute; ts += time.Second {
+		v := 50.0
+		// One 20-second burst: at 10s checks, at most 2-3 consecutive
+		// failing evaluations — below the trip threshold of 4.
+		if ts >= 20*time.Second && ts < 40*time.Second {
+			v = 500
+		}
+		h.store.Record("response_time", scope, t0.Add(ts), v)
+	}
+	run, err := h.engine.Launch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.drive(t, run)
+	if run.Status() != StatusSucceeded {
+		t.Fatalf("status = %v, want succeeded (transient burst below trip threshold)", run.Status())
+	}
+}

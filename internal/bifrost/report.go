@@ -1,0 +1,115 @@
+package bifrost
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file turns a run's audit trail into the artifacts teams share
+// after an experiment: a human-readable report and a JSON export —
+// part of the experimentation-as-code story: the strategy, its
+// execution, and its outcome are all plain, versionable text.
+
+// Report summarizes a finished (or running) strategy run.
+type Report struct {
+	Strategy  string        `json:"strategy"`
+	Service   string        `json:"service"`
+	Baseline  string        `json:"baseline"`
+	Candidate string        `json:"candidate"`
+	Status    string        `json:"status"`
+	Started   time.Time     `json:"started"`
+	Finished  time.Time     `json:"finished,omitempty"`
+	Duration  time.Duration `json:"durationNs,omitempty"`
+	Phases    []PhaseReport `json:"phases"`
+	// CheckFailures counts failing check evaluations across the run.
+	CheckFailures int `json:"checkFailures"`
+	// Retries counts phase re-executions.
+	Retries int `json:"retries"`
+}
+
+// PhaseReport is one phase's execution summary.
+type PhaseReport struct {
+	Phase    string        `json:"phase"`
+	Entered  time.Time     `json:"entered"`
+	Outcome  string        `json:"outcome,omitempty"`
+	Duration time.Duration `json:"durationNs,omitempty"`
+	Checks   int           `json:"checkEvaluations"`
+	Failures int           `json:"checkFailures"`
+}
+
+// BuildReport assembles a Report from a run's events.
+func (r *Run) BuildReport() Report {
+	events := r.Events()
+	s := r.Strategy()
+	rep := Report{
+		Strategy:  s.Name,
+		Service:   s.Service,
+		Baseline:  s.Baseline,
+		Candidate: s.Candidate,
+		Status:    r.Status().String(),
+	}
+	if len(events) > 0 {
+		rep.Started = events[0].At
+	}
+	var cur *PhaseReport
+	entered := make(map[string]int)
+	for _, ev := range events {
+		switch ev.Type {
+		case EventPhaseEntered:
+			entered[ev.Phase]++
+			if entered[ev.Phase] > 1 {
+				rep.Retries++
+			}
+			rep.Phases = append(rep.Phases, PhaseReport{Phase: ev.Phase, Entered: ev.At})
+			cur = &rep.Phases[len(rep.Phases)-1]
+		case EventCheckResult:
+			if cur != nil {
+				cur.Checks++
+				if ev.Outcome == OutcomeFail {
+					cur.Failures++
+					rep.CheckFailures++
+				}
+			}
+		case EventPhaseOutcome:
+			if cur != nil {
+				cur.Outcome = ev.Outcome.String()
+				cur.Duration = ev.At.Sub(cur.Entered)
+			}
+		case EventRunFinished:
+			rep.Finished = ev.At
+			rep.Duration = ev.At.Sub(rep.Started)
+		}
+	}
+	return rep
+}
+
+// Render formats the report for humans.
+func (rep Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment report: %s (%s: %s -> %s)\n",
+		rep.Strategy, rep.Service, rep.Baseline, rep.Candidate)
+	fmt.Fprintf(&b, "status: %s", rep.Status)
+	if rep.Duration > 0 {
+		fmt.Fprintf(&b, " after %s", rep.Duration)
+	}
+	if rep.Retries > 0 {
+		fmt.Fprintf(&b, " (%d phase retries)", rep.Retries)
+	}
+	b.WriteString("\n")
+	for _, p := range rep.Phases {
+		fmt.Fprintf(&b, "  %-12s %-13s checks=%d failures=%d",
+			p.Phase, p.Outcome, p.Checks, p.Failures)
+		if p.Duration > 0 {
+			fmt.Fprintf(&b, " duration=%s", p.Duration)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// JSON marshals the report (indented, stable field order).
+func (rep Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -1,0 +1,97 @@
+package bifrost
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildReportHappyPath(t *testing.T) {
+	h := newHarness(t)
+	h.seedMetrics("response_time", "catalog", "v2", "", 10*time.Minute, 50)
+	run, err := h.engine.Launch(twoPhaseStrategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.drive(t, run)
+
+	rep := run.BuildReport()
+	if rep.Status != "succeeded" {
+		t.Errorf("status = %q", rep.Status)
+	}
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %d", len(rep.Phases))
+	}
+	for _, p := range rep.Phases {
+		if p.Outcome != "pass" {
+			t.Errorf("phase %s outcome = %q", p.Phase, p.Outcome)
+		}
+		if p.Checks == 0 {
+			t.Errorf("phase %s recorded no check evaluations", p.Phase)
+		}
+		if p.Duration <= 0 {
+			t.Errorf("phase %s duration = %v", p.Phase, p.Duration)
+		}
+	}
+	if rep.Duration <= 0 || rep.Finished.Before(rep.Started) {
+		t.Errorf("timing wrong: %+v", rep)
+	}
+	if rep.CheckFailures != 0 || rep.Retries != 0 {
+		t.Errorf("unexpected failures/retries: %+v", rep)
+	}
+}
+
+func TestBuildReportWithRetriesAndFailures(t *testing.T) {
+	h := newHarness(t)
+	s := twoPhaseStrategy()
+	s.Phases = s.Phases[:1]
+	s.Phases[0].MaxRetries = 2
+	// No metrics: retries then rollback.
+	run, err := h.engine.Launch(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.drive(t, run)
+	rep := run.BuildReport()
+	if rep.Status != "rolled-back" {
+		t.Errorf("status = %q", rep.Status)
+	}
+	if rep.Retries != 2 {
+		t.Errorf("retries = %d, want 2", rep.Retries)
+	}
+	if len(rep.Phases) != 3 {
+		t.Errorf("phase entries = %d, want 3 (initial + 2 retries)", len(rep.Phases))
+	}
+}
+
+func TestReportRenderAndJSON(t *testing.T) {
+	h := newHarness(t)
+	h.seedMetrics("response_time", "catalog", "v2", "", 10*time.Minute, 500) // failing
+	run, err := h.engine.Launch(twoPhaseStrategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.drive(t, run)
+	rep := run.BuildReport()
+	out := rep.Render()
+	for _, want := range []string{"experiment report", "rolled-back", "canary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if rep.CheckFailures == 0 {
+		t.Error("failing run should record check failures")
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["strategy"] != "happy" {
+		t.Errorf("JSON strategy = %v", decoded["strategy"])
+	}
+}

@@ -1,0 +1,150 @@
+package bifrost
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+)
+
+func namedStrategy(name, service string, groups ...expmodel.UserGroup) *Strategy {
+	return &Strategy{
+		Name: name, Service: service, Baseline: "v1", Candidate: "v2",
+		Phases: []Phase{{
+			Name: "canary", Practice: expmodel.PracticeCanary,
+			Traffic:  TrafficSpec{CandidateWeight: 0.1, Groups: groups},
+			Duration: time.Minute,
+			Checks: []Check{{
+				Name: "latency", Metric: "response_time",
+				Aggregation: metrics.AggMean, Upper: true, Threshold: 100,
+				Interval: 10 * time.Second,
+			}},
+			OnSuccess: Transition{Kind: TransitionPromote},
+		}},
+	}
+}
+
+func TestVerifyNoConflicts(t *testing.T) {
+	conflicts, err := Verify([]*Strategy{
+		namedStrategy("a", "svc-a"),
+		namedStrategy("b", "svc-b"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("independent strategies flagged: %v", conflicts)
+	}
+}
+
+func TestVerifySameService(t *testing.T) {
+	conflicts, err := Verify([]*Strategy{
+		namedStrategy("a", "catalog"),
+		namedStrategy("b", "catalog"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) == 0 {
+		t.Fatal("same-service conflict not detected")
+	}
+	if conflicts[0].Kind != ConflictSameService {
+		t.Errorf("kind = %v", conflicts[0].Kind)
+	}
+	if !strings.Contains(conflicts[0].String(), "catalog") {
+		t.Errorf("conflict string = %q", conflicts[0])
+	}
+}
+
+func TestVerifyVersionClash(t *testing.T) {
+	a := namedStrategy("a", "catalog")
+	b := namedStrategy("b", "catalog")
+	b.Baseline, b.Candidate = "v2", "v3" // b's baseline is a's candidate
+	conflicts, err := Verify([]*Strategy{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, c := range conflicts {
+		if c.Kind == ConflictVersionClash {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("version clash not detected: %v", conflicts)
+	}
+}
+
+func TestVerifySharedGroups(t *testing.T) {
+	conflicts, err := Verify([]*Strategy{
+		namedStrategy("a", "svc-a", "beta", "eu"),
+		namedStrategy("b", "svc-b", "beta"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 || conflicts[0].Kind != ConflictSharedGroups {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	if !strings.Contains(conflicts[0].Detail, "beta") {
+		t.Errorf("detail = %q", conflicts[0].Detail)
+	}
+}
+
+func TestVerifyInvalidStrategy(t *testing.T) {
+	if _, err := Verify([]*Strategy{{}}); err == nil {
+		t.Error("invalid strategy should fail verification")
+	}
+}
+
+func TestConflictKindString(t *testing.T) {
+	for _, k := range []ConflictKind{ConflictSameService, ConflictSharedGroups, ConflictVersionClash} {
+		if k.String() == "" {
+			t.Error("empty conflict kind name")
+		}
+	}
+	if ConflictKind(99).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}
+
+func TestLaunchVerified(t *testing.T) {
+	h := newHarness(t)
+	h.seedMetrics("response_time", "catalog", "v2", "", 10*time.Minute, 50)
+	h.seedMetrics("response_time", "cart", "v2", "", 10*time.Minute, 50)
+
+	a := namedStrategy("a", "catalog")
+	runA, conflicts, err := h.engine.LaunchVerified(a)
+	if err != nil || len(conflicts) != 0 {
+		t.Fatalf("first launch: %v %v", conflicts, err)
+	}
+
+	// Conflicting launch on the same service is refused.
+	b := namedStrategy("b", "catalog")
+	if _, conflicts, err := h.engine.LaunchVerified(b); err == nil || len(conflicts) == 0 {
+		t.Fatalf("conflicting launch accepted: %v %v", conflicts, err)
+	}
+
+	// Independent launch is accepted.
+	c := namedStrategy("c", "cart")
+	runC, conflicts, err := h.engine.LaunchVerified(c)
+	if err != nil || len(conflicts) != 0 {
+		t.Fatalf("independent launch refused: %v %v", conflicts, err)
+	}
+	h.drive(t, runA)
+	h.drive(t, runC)
+
+	// Once a is finished, b may launch.
+	if _, conflicts, err := h.engine.LaunchVerified(b); err != nil || len(conflicts) != 0 {
+		t.Fatalf("post-completion launch refused: %v %v", conflicts, err)
+	}
+}
+
+func TestLaunchVerifiedInvalid(t *testing.T) {
+	h := newHarness(t)
+	if _, _, err := h.engine.LaunchVerified(&Strategy{}); err == nil {
+		t.Error("invalid strategy should fail")
+	}
+}

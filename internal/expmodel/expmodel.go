@@ -1,0 +1,169 @@
+// Package expmodel holds the shared vocabulary of the conceptual
+// framework for continuous experimentation (Section 1.2.1): the
+// experimentation practices identified by the empirical study, the
+// regression-driven vs. business-driven classification, user groups, and
+// variant definitions. Fenrir (planning), Bifrost (execution), and the
+// health assessment (analysis) all speak in these terms.
+package expmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Practice is a continuous-experimentation practice (Section 2.2.1).
+type Practice int
+
+// The practices surveyed by Chapter 2 and enacted by Bifrost.
+const (
+	// PracticeCanary releases a new version to a small random subset of
+	// users while the rest stay on the stable version.
+	PracticeCanary Practice = iota + 1
+	// PracticeDarkLaunch duplicates production traffic to the new
+	// version without exposing responses to users.
+	PracticeDarkLaunch
+	// PracticeABTest splits users between variants of equal footing and
+	// compares business metrics.
+	PracticeABTest
+	// PracticeGradualRollout step-wise increases the share of users on
+	// the new version until full rollout.
+	PracticeGradualRollout
+	// PracticeBlueGreen keeps two complete deployments and atomically
+	// switches production traffic between them.
+	PracticeBlueGreen
+)
+
+var practiceNames = map[Practice]string{
+	PracticeCanary:         "canary",
+	PracticeDarkLaunch:     "dark-launch",
+	PracticeABTest:         "ab-test",
+	PracticeGradualRollout: "gradual-rollout",
+	PracticeBlueGreen:      "blue-green",
+}
+
+// String returns the canonical DSL spelling of the practice.
+func (p Practice) String() string {
+	if s, ok := practiceNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("practice(%d)", int(p))
+}
+
+// ParsePractice converts a DSL spelling into a Practice.
+func ParsePractice(s string) (Practice, error) {
+	norm := strings.ToLower(strings.TrimSpace(s))
+	norm = strings.ReplaceAll(norm, "_", "-")
+	for p, name := range practiceNames {
+		if norm == name {
+			return p, nil
+		}
+	}
+	// Accept a few aliases seen in the paper's prose.
+	switch norm {
+	case "dark", "shadow", "shadow-launch":
+		return PracticeDarkLaunch, nil
+	case "ab", "a/b", "a/b-test":
+		return PracticeABTest, nil
+	case "gradual", "rollout":
+		return PracticeGradualRollout, nil
+	}
+	return 0, fmt.Errorf("expmodel: unknown practice %q", s)
+}
+
+// Class is the study's two-way classification of experiments
+// (Section 2.6, Table 2.5).
+type Class int
+
+// Experiment classes.
+const (
+	// ClassRegressionDriven: quality assurance — canaries, dark
+	// launches, gradual rollouts; verdicts from technical metrics.
+	ClassRegressionDriven Class = iota + 1
+	// ClassBusinessDriven: feature evaluation — A/B tests; verdicts
+	// from business metrics with hypothesis testing.
+	ClassBusinessDriven
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassRegressionDriven:
+		return "regression-driven"
+	case ClassBusinessDriven:
+		return "business-driven"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Classify maps a practice to its experiment class per Table 2.5.
+func Classify(p Practice) Class {
+	if p == PracticeABTest {
+		return ClassBusinessDriven
+	}
+	return ClassRegressionDriven
+}
+
+// UserGroup identifies a segment of the user population (e.g., a region,
+// a device class, a loyalty tier). Fenrir's group-coverage objective and
+// overlap constraints, and Bifrost's routing filters, operate on these.
+type UserGroup string
+
+// GroupSet is an immutable set of user groups with value semantics.
+type GroupSet struct {
+	groups map[UserGroup]bool
+}
+
+// NewGroupSet builds a set from the given groups.
+func NewGroupSet(groups ...UserGroup) GroupSet {
+	m := make(map[UserGroup]bool, len(groups))
+	for _, g := range groups {
+		m[g] = true
+	}
+	return GroupSet{groups: m}
+}
+
+// Contains reports membership.
+func (s GroupSet) Contains(g UserGroup) bool { return s.groups[g] }
+
+// Len returns the set size.
+func (s GroupSet) Len() int { return len(s.groups) }
+
+// Intersects reports whether the sets share any group. Fenrir uses this
+// for the overlap constraint: experiments with intersecting groups must
+// not run in the same slot.
+func (s GroupSet) Intersects(o GroupSet) bool {
+	a, b := s.groups, o.groups
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for g := range a {
+		if b[g] {
+			return true
+		}
+	}
+	return false
+}
+
+// Slice returns the groups (unspecified order).
+func (s GroupSet) Slice() []UserGroup {
+	out := make([]UserGroup, 0, len(s.groups))
+	for g := range s.groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Variant describes one deployed version participating in an experiment.
+type Variant struct {
+	// Name labels the variant ("baseline", "candidate", "B", ...).
+	Name string
+	// Service and Version locate the deployment.
+	Service string
+	Version string
+}
+
+// String renders name(service@version).
+func (v Variant) String() string {
+	return fmt.Sprintf("%s(%s@%s)", v.Name, v.Service, v.Version)
+}

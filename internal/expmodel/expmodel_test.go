@@ -1,0 +1,102 @@
+package expmodel
+
+import "testing"
+
+func TestPracticeRoundTrip(t *testing.T) {
+	for _, p := range []Practice{PracticeCanary, PracticeDarkLaunch, PracticeABTest, PracticeGradualRollout, PracticeBlueGreen} {
+		got, err := ParsePractice(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v -> %q -> %v (%v)", p, p.String(), got, err)
+		}
+	}
+}
+
+func TestParsePracticeAliases(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Practice
+	}{
+		{"dark", PracticeDarkLaunch},
+		{"shadow", PracticeDarkLaunch},
+		{"AB", PracticeABTest},
+		{"a/b", PracticeABTest},
+		{"gradual", PracticeGradualRollout},
+		{"DARK_LAUNCH", PracticeDarkLaunch},
+		{"  canary  ", PracticeCanary},
+	}
+	for _, tt := range tests {
+		got, err := ParsePractice(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("ParsePractice(%q) = %v, %v; want %v", tt.in, got, err, tt.want)
+		}
+	}
+	if _, err := ParsePractice("catapult"); err == nil {
+		t.Error("expected error for unknown practice")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		p    Practice
+		want Class
+	}{
+		{PracticeCanary, ClassRegressionDriven},
+		{PracticeDarkLaunch, ClassRegressionDriven},
+		{PracticeGradualRollout, ClassRegressionDriven},
+		{PracticeBlueGreen, ClassRegressionDriven},
+		{PracticeABTest, ClassBusinessDriven},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.p); got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassRegressionDriven.String() != "regression-driven" {
+		t.Error("bad class name")
+	}
+	if ClassBusinessDriven.String() != "business-driven" {
+		t.Error("bad class name")
+	}
+	if Class(42).String() == "" {
+		t.Error("unknown class should still stringify")
+	}
+	if Practice(42).String() == "" {
+		t.Error("unknown practice should still stringify")
+	}
+}
+
+func TestGroupSet(t *testing.T) {
+	s := NewGroupSet("eu", "us")
+	if !s.Contains("eu") || s.Contains("apac") {
+		t.Error("Contains wrong")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := len(s.Slice()); got != 2 {
+		t.Errorf("Slice len = %d", got)
+	}
+
+	other := NewGroupSet("us", "apac")
+	if !s.Intersects(other) {
+		t.Error("expected intersection on us")
+	}
+	disjoint := NewGroupSet("apac")
+	if s.Intersects(disjoint) {
+		t.Error("unexpected intersection")
+	}
+	empty := NewGroupSet()
+	if s.Intersects(empty) || empty.Intersects(s) {
+		t.Error("empty set should intersect nothing")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	v := Variant{Name: "candidate", Service: "catalog", Version: "v2"}
+	if got := v.String(); got != "candidate(catalog@v2)" {
+		t.Errorf("Variant.String = %q", got)
+	}
+}

@@ -1,0 +1,75 @@
+package expmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"contexp/internal/stats"
+)
+
+// SampleSizePlan bridges the study's "from intuition to principled
+// decision making" implication (Section 2.7): instead of gut-feeling
+// sample sizes, an experiment's RequiredSamples (Fenrir) and
+// min-samples (Bifrost) are derived from the effect the experiment
+// must be able to detect, using the established power-analysis
+// formulas the paper cites (Kohavi et al.).
+type SampleSizePlan struct {
+	// PerVariant is the required sample size per experiment arm.
+	PerVariant int
+	// Total across the arms (two for A/B tests, one observed arm for
+	// regression-driven experiments whose baseline is the full
+	// population).
+	Total int
+	// Alpha and Power document the statistical parameters used.
+	Alpha, Power float64
+}
+
+// PlanProportionTest sizes a business-driven experiment on a conversion
+// metric: baseline rate p0, minimum detectable absolute lift mde.
+// Defaults: alpha 0.05, power 0.8 when zero.
+func PlanProportionTest(p0, mde, alpha, power float64) (SampleSizePlan, error) {
+	alpha, power = defaultAlphaPower(alpha, power)
+	n, err := stats.MinSampleSizeProportion(p0, mde, alpha, power)
+	if err != nil {
+		return SampleSizePlan{}, fmt.Errorf("expmodel: %w", err)
+	}
+	return SampleSizePlan{PerVariant: n, Total: 2 * n, Alpha: alpha, Power: power}, nil
+}
+
+// PlanMeanTest sizes a regression-driven experiment on a continuous
+// metric (e.g. response time): standard deviation sigma, minimum
+// detectable difference mde, in the metric's units.
+func PlanMeanTest(sigma, mde, alpha, power float64) (SampleSizePlan, error) {
+	alpha, power = defaultAlphaPower(alpha, power)
+	n, err := stats.MinSampleSizeMean(sigma, mde, alpha, power)
+	if err != nil {
+		return SampleSizePlan{}, fmt.Errorf("expmodel: %w", err)
+	}
+	return SampleSizePlan{PerVariant: n, Total: 2 * n, Alpha: alpha, Power: power}, nil
+}
+
+// MinimumDuration estimates how long an experiment must run to collect
+// the plan's per-variant samples, given the traffic share routed to the
+// variant and the experimentable request rate (requests per hour). It
+// answers the planning question the paper poses — "how long to run at
+// which scope to achieve the required level of confidence".
+func (p SampleSizePlan) MinimumDuration(share, requestsPerHour float64) (hours float64, err error) {
+	if share <= 0 || share > 1 {
+		return 0, fmt.Errorf("expmodel: share %v outside (0,1]", share)
+	}
+	if requestsPerHour <= 0 {
+		return 0, errors.New("expmodel: request rate must be positive")
+	}
+	perHour := share * requestsPerHour
+	return float64(p.PerVariant) / perHour, nil
+}
+
+func defaultAlphaPower(alpha, power float64) (float64, float64) {
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	if power <= 0 {
+		power = 0.8
+	}
+	return alpha, power
+}

@@ -1,0 +1,76 @@
+package expmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanProportionTest(t *testing.T) {
+	plan, err := PlanProportionTest(0.10, 0.02, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Alpha != 0.05 || plan.Power != 0.8 {
+		t.Errorf("defaults = %v/%v", plan.Alpha, plan.Power)
+	}
+	if plan.PerVariant < 3000 || plan.PerVariant > 5000 {
+		t.Errorf("per-variant = %d, want textbook ≈3,800", plan.PerVariant)
+	}
+	if plan.Total != 2*plan.PerVariant {
+		t.Errorf("total = %d", plan.Total)
+	}
+	if _, err := PlanProportionTest(0, 0.02, 0, 0); err == nil {
+		t.Error("invalid baseline should fail")
+	}
+}
+
+func TestPlanMeanTest(t *testing.T) {
+	plan, err := PlanMeanTest(10, 1, 0.05, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2*(1.96+1.282)^2*100 ≈ 2102.
+	if plan.PerVariant < 1900 || plan.PerVariant > 2300 {
+		t.Errorf("per-variant = %d, want ≈2,100", plan.PerVariant)
+	}
+	if _, err := PlanMeanTest(-1, 1, 0, 0); err == nil {
+		t.Error("negative sigma should fail")
+	}
+}
+
+func TestMinimumDuration(t *testing.T) {
+	plan := SampleSizePlan{PerVariant: 5000}
+	// 5% of 50k req/h = 2,500 samples/hour -> 2 hours.
+	hours, err := plan.MinimumDuration(0.05, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hours-2) > 1e-9 {
+		t.Errorf("hours = %v, want 2", hours)
+	}
+	if _, err := plan.MinimumDuration(0, 50000); err == nil {
+		t.Error("zero share should fail")
+	}
+	if _, err := plan.MinimumDuration(0.05, 0); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := plan.MinimumDuration(1.5, 50000); err == nil {
+		t.Error("share above 1 should fail")
+	}
+}
+
+func TestPlanIntegrationWithScheduling(t *testing.T) {
+	// The planning loop the paper envisions: derive the sample size
+	// from the hypothesis, then the minimum duration from the traffic.
+	plan, err := PlanProportionTest(0.08, 0.01, 0.05, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hours, err := plan.MinimumDuration(0.1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hours <= 0 || hours > 24*14 {
+		t.Errorf("implausible duration %v hours for a realistic plan", hours)
+	}
+}

@@ -1,0 +1,100 @@
+package fenrir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders a schedule as an ASCII chart: one row per experiment,
+// one column per `slotsPerCol` slots, bar height encoding the traffic
+// share. It is the textual counterpart of the schedule visualizations
+// release engineers use to sanity-check Fenrir's output.
+//
+//	exp-01  |      ▃▃▃▃▃▃▃▃                                |  canary 12%
+//	exp-02  |            ██████                            |  ab-test 28%
+func (p *Problem) Gantt(s *Schedule, width int) string {
+	horizon := p.Profile.NumSlots()
+	if width <= 0 {
+		width = 72
+	}
+	if width > horizon {
+		width = horizon
+	}
+	slotsPerCol := float64(horizon) / float64(width)
+
+	var b strings.Builder
+	// Time axis: day marks.
+	fmt.Fprintf(&b, "%-8s |", "day")
+	for col := 0; col < width; col++ {
+		slot := int(float64(col) * slotsPerCol)
+		if slot%24 < int(slotsPerCol) {
+			day := slot/24 + 1
+			b.WriteByte('0' + byte(day%10))
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteString("|\n")
+
+	for i := range p.Experiments {
+		e := &p.Experiments[i]
+		g := s.Genes[i]
+		fmt.Fprintf(&b, "%-8s |", e.ID)
+		for col := 0; col < width; col++ {
+			lo := int(float64(col) * slotsPerCol)
+			hi := int(float64(col+1) * slotsPerCol)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			active := g.Start < hi && g.End() > lo
+			if !active {
+				b.WriteByte(' ')
+				continue
+			}
+			b.WriteRune(shareGlyph(g.Share))
+		}
+		fmt.Fprintf(&b, "|  %s %.0f%%\n", e.Practice, g.Share*100)
+	}
+	return b.String()
+}
+
+// shareGlyph maps a traffic share to a bar glyph.
+func shareGlyph(share float64) rune {
+	switch {
+	case share >= 0.3:
+		return '█'
+	case share >= 0.2:
+		return '▆'
+	case share >= 0.1:
+		return '▄'
+	default:
+		return '▂'
+	}
+}
+
+// UtilizationProfile returns the per-slot total allocated share of a
+// schedule, for plotting against the capacity ceiling.
+func (p *Problem) UtilizationProfile(s *Schedule) []float64 {
+	out := make([]float64, p.Profile.NumSlots())
+	for i := range s.Genes {
+		g := s.Genes[i]
+		for t := g.Start; t < g.End() && t < len(out); t++ {
+			if t >= 0 {
+				out[t] += g.Share
+			}
+		}
+	}
+	return out
+}
+
+// PeakUtilization returns the maximum per-slot allocation and its slot.
+func (p *Problem) PeakUtilization(s *Schedule) (float64, int) {
+	var peak float64
+	var at int
+	for t, u := range p.UtilizationProfile(s) {
+		if u > peak {
+			peak, at = u, t
+		}
+	}
+	return peak, at
+}

@@ -1,0 +1,73 @@
+package fenrir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGantt(t *testing.T) {
+	p := smallProblem()
+	s := &Schedule{Genes: []Gene{
+		{Start: 0, Duration: 10, Share: 0.25, GroupMask: 0b01},
+		{Start: 20, Duration: 10, Share: 0.08, GroupMask: 0b10},
+	}}
+	out := p.Gantt(s, 48)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // axis + 2 experiments
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[1], "▆") {
+		t.Errorf("experiment a row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "▂") {
+		t.Errorf("experiment b row should use the low-share glyph: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "canary") {
+		t.Errorf("practice annotation missing: %q", lines[1])
+	}
+}
+
+func TestGanttWidthClamp(t *testing.T) {
+	p := smallProblem()
+	s := &Schedule{Genes: []Gene{
+		{Start: 0, Duration: 10, Share: 0.25, GroupMask: 0b01},
+		{Start: 20, Duration: 10, Share: 0.08, GroupMask: 0b10},
+	}}
+	// Width wider than horizon clamps; zero width uses the default.
+	if out := p.Gantt(s, 100000); out == "" {
+		t.Error("oversized width produced empty chart")
+	}
+	if out := p.Gantt(s, 0); out == "" {
+		t.Error("default width produced empty chart")
+	}
+}
+
+func TestUtilizationProfileAndPeak(t *testing.T) {
+	p := smallProblem()
+	s := &Schedule{Genes: []Gene{
+		{Start: 0, Duration: 10, Share: 0.3, GroupMask: 0b01},
+		{Start: 5, Duration: 10, Share: 0.2, GroupMask: 0b10},
+	}}
+	util := p.UtilizationProfile(s)
+	if util[0] != 0.3 || util[7] != 0.5 || util[12] != 0.2 || util[20] != 0 {
+		t.Errorf("utilization = %v %v %v %v", util[0], util[7], util[12], util[20])
+	}
+	peak, at := p.PeakUtilization(s)
+	if peak != 0.5 || at < 5 || at >= 10 {
+		t.Errorf("peak = %v at %d", peak, at)
+	}
+}
+
+func TestShareGlyphLevels(t *testing.T) {
+	tests := []struct {
+		share float64
+		want  rune
+	}{
+		{0.35, '█'}, {0.25, '▆'}, {0.15, '▄'}, {0.05, '▂'},
+	}
+	for _, tt := range tests {
+		if got := shareGlyph(tt.share); got != tt.want {
+			t.Errorf("shareGlyph(%v) = %c, want %c", tt.share, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,558 @@
+package fenrir
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Optimizer searches for a schedule with maximal fitness under a fixed
+// budget of fitness evaluations — the fairness unit the evaluation
+// compares algorithms at (Section 3.6.1).
+type Optimizer interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Optimize runs the search. initial, when non-nil, seeds the search
+	// (used by schedule reevaluation); it must have one gene per
+	// experiment. The returned schedule is the best found.
+	Optimize(p *Problem, budget int, seed int64, initial *Schedule) (*Schedule, Stats)
+}
+
+// Stats reports how a search run went.
+type Stats struct {
+	Evaluations int
+	Elapsed     time.Duration
+	BestFitness float64
+}
+
+// mutateGene perturbs one field of a gene, staying within the
+// experiment's own bounds (global constraints are the fitness
+// function's business). Frozen genes are returned unchanged.
+func mutateGene(p *Problem, e *Experiment, g Gene, rng *rand.Rand) Gene {
+	if g.Frozen {
+		return g
+	}
+	horizon := p.Profile.NumSlots()
+	latestEnd := e.latestEnd(horizon)
+	switch rng.Intn(4) {
+	case 0: // shift start
+		span := latestEnd - g.Duration - e.EarliestStart
+		if span > 0 {
+			delta := rng.Intn(2*span+1) - span
+			g.Start += delta / 4 // local move
+			if g.Start < e.EarliestStart {
+				g.Start = e.EarliestStart
+			}
+			if g.Start+g.Duration > latestEnd {
+				g.Start = latestEnd - g.Duration
+			}
+		}
+	case 1: // resize duration
+		delta := rng.Intn(7) - 3
+		g.Duration += delta
+		if g.Duration < e.MinDuration {
+			g.Duration = e.MinDuration
+		}
+		if g.Duration > e.MaxDuration {
+			g.Duration = e.MaxDuration
+		}
+		if g.Start+g.Duration > latestEnd {
+			g.Duration = latestEnd - g.Start
+			if g.Duration < e.MinDuration {
+				g.Duration = e.MinDuration
+				g.Start = latestEnd - g.Duration
+				if g.Start < e.EarliestStart {
+					g.Start = e.EarliestStart
+				}
+			}
+		}
+	case 2: // rescale share
+		g.Share += (rng.Float64() - 0.5) * (e.MaxShare - e.MinShare) / 2
+		if g.Share < e.MinShare {
+			g.Share = e.MinShare
+		}
+		if g.Share > e.MaxShare {
+			g.Share = e.MaxShare
+		}
+	default: // flip one group bit
+		bit := uint64(1) << uint(rng.Intn(len(e.CandidateGroups)))
+		g.GroupMask ^= bit
+		if g.GroupMask == 0 {
+			g.GroupMask = bit // never empty
+		}
+	}
+	return g
+}
+
+// mutateSchedule mutates each gene with the given per-gene probability
+// (at least one gene is always mutated).
+func mutateSchedule(p *Problem, s *Schedule, prob float64, rng *rand.Rand) *Schedule {
+	out := s.Clone()
+	mutated := false
+	for i := range out.Genes {
+		if out.Genes[i].Frozen {
+			continue
+		}
+		if rng.Float64() < prob {
+			out.Genes[i] = mutateGene(p, &p.Experiments[i], out.Genes[i], rng)
+			mutated = true
+		}
+	}
+	if !mutated {
+		// Force one mutation on a random non-frozen gene.
+		free := make([]int, 0, len(out.Genes))
+		for i := range out.Genes {
+			if !out.Genes[i].Frozen {
+				free = append(free, i)
+			}
+		}
+		if len(free) > 0 {
+			i := free[rng.Intn(len(free))]
+			out.Genes[i] = mutateGene(p, &p.Experiments[i], out.Genes[i], rng)
+		}
+	}
+	return out
+}
+
+// evaluator counts fitness evaluations against a budget.
+type evaluator struct {
+	p *Problem
+
+	mu    sync.Mutex
+	used  int
+	limit int
+}
+
+func newEvaluator(p *Problem, budget int) *evaluator {
+	return &evaluator{p: p, limit: budget}
+}
+
+// eval spends one evaluation; returns false when the budget is gone.
+func (e *evaluator) eval(s *Schedule) (float64, bool) {
+	e.mu.Lock()
+	if e.used >= e.limit {
+		e.mu.Unlock()
+		return 0, false
+	}
+	e.used++
+	e.mu.Unlock()
+	return e.p.Fitness(s), true
+}
+
+func (e *evaluator) spent() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.used
+}
+
+func (e *evaluator) exhausted() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.used >= e.limit
+}
+
+// GeneticAlgorithm is Fenrir's optimizer: generational GA with
+// tournament selection, one-point crossover at experiment boundaries
+// (Fig 3.2), per-gene mutation, elitism, and parallel fitness
+// evaluation across the population — the property that lets it finish
+// well before the sequential algorithms at equal budgets (Table 3.3).
+type GeneticAlgorithm struct {
+	// PopulationSize defaults to 40.
+	PopulationSize int
+	// CrossoverRate defaults to 0.9.
+	CrossoverRate float64
+	// MutationRate is the per-gene mutation probability. Zero selects
+	// the adaptive default of ≈1.5 mutated genes per offspring, which
+	// scales with the number of experiments.
+	MutationRate float64
+	// Elite is the number of individuals carried over unchanged
+	// (default 2).
+	Elite int
+	// Repair, when true, uses the repairing crossover ablation
+	// (DESIGN.md decision 2) instead of the paper's simple crossover.
+	Repair bool
+	// Parallelism bounds concurrent fitness evaluations (default
+	// GOMAXPROCS).
+	Parallelism int
+}
+
+var _ Optimizer = (*GeneticAlgorithm)(nil)
+
+// Name implements Optimizer.
+func (ga *GeneticAlgorithm) Name() string {
+	if ga.Repair {
+		return "GA+repair"
+	}
+	return "GA"
+}
+
+func (ga *GeneticAlgorithm) defaults() GeneticAlgorithm {
+	out := *ga
+	if out.PopulationSize <= 0 {
+		out.PopulationSize = 40
+	}
+	if out.CrossoverRate <= 0 {
+		out.CrossoverRate = 0.9
+	}
+	if out.Elite <= 0 {
+		out.Elite = 2
+	}
+	if out.Parallelism <= 0 {
+		out.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return out
+}
+
+type individual struct {
+	s       *Schedule
+	fitness float64
+}
+
+// Optimize implements Optimizer.
+func (ga *GeneticAlgorithm) Optimize(p *Problem, budget int, seed int64, initial *Schedule) (*Schedule, Stats) {
+	cfg := ga.defaults()
+	if cfg.MutationRate <= 0 {
+		cfg.MutationRate = 1.5 / float64(len(p.Experiments)+1)
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	ev := newEvaluator(p, budget)
+
+	pop := make([]individual, cfg.PopulationSize)
+	for i := range pop {
+		if i == 0 && initial != nil {
+			pop[i].s = initial.Clone()
+		} else {
+			pop[i].s = p.RandomScheduleFrom(rng, initial)
+		}
+	}
+	ga.evalParallel(pop, ev, cfg.Parallelism)
+	best := bestOf(pop)
+
+	for !ev.exhausted() {
+		next := make([]individual, 0, cfg.PopulationSize)
+		// Elitism.
+		sortByFitness(pop)
+		for i := 0; i < cfg.Elite && i < len(pop); i++ {
+			next = append(next, individual{s: pop[i].s.Clone(), fitness: pop[i].fitness})
+		}
+		for len(next) < cfg.PopulationSize {
+			a := tournament(pop, rng)
+			b := tournament(pop, rng)
+			child := a.s.Clone()
+			if rng.Float64() < cfg.CrossoverRate {
+				child = crossover(a.s, b.s, rng)
+				if cfg.Repair {
+					repairSchedule(p, child, rng)
+				}
+			}
+			child = mutateSchedule(p, child, cfg.MutationRate, rng)
+			next = append(next, individual{s: child, fitness: math.Inf(-1)})
+		}
+		// Parallel evaluation of the non-elite offspring.
+		ga.evalParallel(next[cfg.Elite:], ev, cfg.Parallelism)
+		pop = next
+		if b := bestOf(pop); b.fitness > best.fitness {
+			best = individual{s: b.s.Clone(), fitness: b.fitness}
+		}
+	}
+	return best.s, Stats{Evaluations: ev.spent(), Elapsed: time.Since(start), BestFitness: best.fitness}
+}
+
+// evalParallel evaluates every individual in pop concurrently, chunking
+// the population across `parallelism` workers (goroutine-per-chunk keeps
+// the scheduling overhead negligible relative to fitness evaluation).
+// Callers pass only individuals that need (re-)evaluation; elites are
+// excluded by slicing. This population-level parallelism is what gives
+// the GA its wall-clock advantage on multi-core machines (Table 3.3);
+// on a single core it degrades gracefully to sequential evaluation.
+func (ga *GeneticAlgorithm) evalParallel(pop []individual, ev *evaluator, parallelism int) {
+	if parallelism <= 1 || len(pop) < 2 {
+		for i := range pop {
+			if f, ok := ev.eval(pop[i].s); ok {
+				pop[i].fitness = f
+			} else {
+				pop[i].fitness = math.Inf(-1)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pop) + parallelism - 1) / parallelism
+	for lo := 0; lo < len(pop); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pop) {
+			hi = len(pop)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if f, ok := ev.eval(pop[i].s); ok {
+					pop[i].fitness = f
+				} else {
+					pop[i].fitness = math.Inf(-1)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func bestOf(pop []individual) individual {
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.fitness > best.fitness {
+			best = ind
+		}
+	}
+	return best
+}
+
+func sortByFitness(pop []individual) {
+	// Insertion sort: populations are small and mostly sorted across
+	// generations.
+	for i := 1; i < len(pop); i++ {
+		for j := i; j > 0 && pop[j].fitness > pop[j-1].fitness; j-- {
+			pop[j], pop[j-1] = pop[j-1], pop[j]
+		}
+	}
+}
+
+func tournament(pop []individual, rng *rand.Rand) individual {
+	const k = 3
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.fitness > best.fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// crossover is the paper's "rather simple strategy": a one-point cut at
+// an experiment boundary, taking genes left of the cut from a and right
+// of it from b (Fig 3.2). Offspring frequently violate the overarching
+// constraints — Section 3.7 names this as the GA's main improvement
+// opportunity, which the Repair option explores.
+func crossover(a, b *Schedule, rng *rand.Rand) *Schedule {
+	child := a.Clone()
+	if len(child.Genes) < 2 {
+		return child
+	}
+	cut := 1 + rng.Intn(len(child.Genes)-1)
+	for i := cut; i < len(child.Genes); i++ {
+		if !child.Genes[i].Frozen {
+			child.Genes[i] = b.Genes[i]
+		}
+	}
+	return child
+}
+
+// repairSchedule greedily resolves capacity and group-overlap conflicts
+// by shrinking shares and re-placing conflicting genes. Best effort: the
+// result may still be invalid, but far less often than raw crossover.
+func repairSchedule(p *Problem, s *Schedule, rng *rand.Rand) {
+	horizon := p.Profile.NumSlots()
+	usage := make([]float64, horizon)
+	groupBusy := make(map[string][]bool)
+	for i := range s.Genes {
+		e := &p.Experiments[i]
+		g := s.Genes[i]
+		conflict := !fits(usage, g, p.Capacity) || groupsOccupied(groupBusy, e, g) ||
+			p.collected(e, g) < e.RequiredSamples
+		if conflict && !g.Frozen {
+			if ng, ok := p.placeExperiment(e, rng, usage, groupBusy); ok {
+				s.Genes[i] = ng
+				continue
+			}
+		}
+		commit(usage, groupBusy, e, g)
+	}
+}
+
+// RandomSampling draws budget constructive random schedules and keeps
+// the best — the weakest baseline of Section 3.5.2.
+type RandomSampling struct{}
+
+var _ Optimizer = RandomSampling{}
+
+// Name implements Optimizer.
+func (RandomSampling) Name() string { return "Random" }
+
+// Optimize implements Optimizer.
+func (RandomSampling) Optimize(p *Problem, budget int, seed int64, initial *Schedule) (*Schedule, Stats) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	ev := newEvaluator(p, budget)
+
+	var best *Schedule
+	bestF := math.Inf(-1)
+	if initial != nil {
+		if f, ok := ev.eval(initial); ok {
+			best, bestF = initial.Clone(), f
+		}
+	}
+	for !ev.exhausted() {
+		s := p.RandomScheduleFrom(rng, initial)
+		f, ok := ev.eval(s)
+		if !ok {
+			break
+		}
+		if f > bestF {
+			best, bestF = s, f
+		}
+	}
+	return best, Stats{Evaluations: ev.spent(), Elapsed: time.Since(start), BestFitness: bestF}
+}
+
+// LocalSearch is steepest-free first-improvement hill climbing with
+// random restarts (Section 3.5.3).
+type LocalSearch struct {
+	// Stagnation is how many non-improving neighbors trigger a restart
+	// (default 200).
+	Stagnation int
+}
+
+var _ Optimizer = LocalSearch{}
+
+// Name implements Optimizer.
+func (LocalSearch) Name() string { return "LocalSearch" }
+
+// Optimize implements Optimizer.
+func (ls LocalSearch) Optimize(p *Problem, budget int, seed int64, initial *Schedule) (*Schedule, Stats) {
+	stagLimit := ls.Stagnation
+	if stagLimit <= 0 {
+		stagLimit = 200
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	ev := newEvaluator(p, budget)
+
+	newStart := func() *Schedule {
+		if initial != nil && rng.Float64() < 0.5 {
+			return mutateSchedule(p, initial, 0.1, rng)
+		}
+		return p.RandomScheduleFrom(rng, initial)
+	}
+
+	best := newStart()
+	bestF, ok := ev.eval(best)
+	if !ok {
+		return best, Stats{Evaluations: ev.spent(), Elapsed: time.Since(start), BestFitness: bestF}
+	}
+	cur, curF := best.Clone(), bestF
+	stagnation := 0
+	for !ev.exhausted() {
+		neighbor := mutateSchedule(p, cur, 2.0/float64(len(cur.Genes)+1), rng)
+		f, evalOK := ev.eval(neighbor)
+		if !evalOK {
+			break
+		}
+		if f > curF {
+			cur, curF = neighbor, f
+			stagnation = 0
+			if f > bestF {
+				best, bestF = neighbor.Clone(), f
+			}
+		} else {
+			stagnation++
+			if stagnation >= stagLimit {
+				cur = newStart()
+				if f2, ok2 := ev.eval(cur); ok2 {
+					curF = f2
+					if f2 > bestF {
+						best, bestF = cur.Clone(), f2
+					}
+				}
+				stagnation = 0
+			}
+		}
+	}
+	return best, Stats{Evaluations: ev.spent(), Elapsed: time.Since(start), BestFitness: bestF}
+}
+
+// SimulatedAnnealing with geometric cooling (Section 3.5.4).
+type SimulatedAnnealing struct {
+	// InitialTemp defaults to 2.0 (fitness units).
+	InitialTemp float64
+	// Cooling is the geometric factor per step (default chosen so the
+	// temperature reaches ~0.01 at budget exhaustion).
+	Cooling float64
+}
+
+var _ Optimizer = SimulatedAnnealing{}
+
+// Name implements Optimizer.
+func (SimulatedAnnealing) Name() string { return "SimAnnealing" }
+
+// Optimize implements Optimizer.
+func (sa SimulatedAnnealing) Optimize(p *Problem, budget int, seed int64, initial *Schedule) (*Schedule, Stats) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	ev := newEvaluator(p, budget)
+
+	temp := sa.InitialTemp
+	if temp <= 0 {
+		temp = 2.0
+	}
+	cooling := sa.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		// Reach temp*1e-3 after `budget` steps.
+		cooling = math.Pow(1e-3, 1/math.Max(float64(budget), 1))
+	}
+
+	var cur *Schedule
+	if initial != nil {
+		cur = initial.Clone()
+	} else {
+		cur = p.RandomScheduleFrom(rng, initial)
+	}
+	curF, ok := ev.eval(cur)
+	if !ok {
+		return cur, Stats{Evaluations: ev.spent(), Elapsed: time.Since(start), BestFitness: curF}
+	}
+	best, bestF := cur.Clone(), curF
+
+	// Reheat: when the chain is stuck in the infeasible region for a
+	// long streak, restart from a fresh constructive schedule at a
+	// raised temperature. Without this the single-chain SA occasionally
+	// never finds a valid schedule on tight instances.
+	const invalidStreakLimit = 400
+	invalidStreak := 0
+
+	for !ev.exhausted() {
+		neighbor := mutateSchedule(p, cur, 2.0/float64(len(cur.Genes)+1), rng)
+		f, evalOK := ev.eval(neighbor)
+		if !evalOK {
+			break
+		}
+		if f > curF || rng.Float64() < math.Exp((f-curF)/temp) {
+			cur, curF = neighbor, f
+			if f > bestF {
+				best, bestF = neighbor.Clone(), f
+			}
+		}
+		if curF < 0 {
+			invalidStreak++
+			if invalidStreak >= invalidStreakLimit {
+				cur = p.RandomScheduleFrom(rng, initial)
+				if f2, ok2 := ev.eval(cur); ok2 {
+					curF = f2
+					if f2 > bestF {
+						best, bestF = cur.Clone(), f2
+					}
+				}
+				temp = math.Max(temp, 0.5)
+				invalidStreak = 0
+			}
+		} else {
+			invalidStreak = 0
+		}
+		temp *= cooling
+	}
+	return best, Stats{Evaluations: ev.spent(), Elapsed: time.Since(start), BestFitness: bestF}
+}

@@ -1,0 +1,124 @@
+package fenrir
+
+import (
+	"fmt"
+)
+
+// Reevaluation models Section 3.6.4: experiments are uncertain — they
+// finish, get canceled, and new ones arrive — so an existing schedule is
+// periodically reevaluated at a point in (schedule) time. Finished
+// experiments leave the problem, canceled ones free their resources,
+// running ones are frozen in place, pending ones become re-optimizable
+// with their earliest start clamped to now, and newly arrived
+// experiments join the problem.
+
+// ReevalInput describes a reevaluation request.
+type ReevalInput struct {
+	// Now is the current slot: everything before it already happened.
+	Now int
+	// Canceled lists experiment IDs withdrawn before completion.
+	Canceled []string
+	// Added are new experiments to schedule alongside the survivors.
+	Added []Experiment
+}
+
+// ReevalResult is the reduced problem plus its seed schedule.
+type ReevalResult struct {
+	Problem *Problem
+	// Seed carries the surviving genes (frozen for running experiments)
+	// and constructive placements for added ones; optimizers use it as
+	// the warm start the paper's reevaluation scenario benefits from.
+	Seed *Schedule
+	// Finished lists experiments that completed before Now.
+	Finished []string
+	// Dropped lists canceled experiment IDs that were actually present.
+	Dropped []string
+}
+
+// Reevaluate builds the follow-up scheduling problem from an existing
+// schedule at slot `now`.
+func Reevaluate(p *Problem, s *Schedule, in ReevalInput) (*ReevalResult, error) {
+	if len(s.Genes) != len(p.Experiments) {
+		return nil, fmt.Errorf("fenrir: schedule has %d genes for %d experiments", len(s.Genes), len(p.Experiments))
+	}
+	horizon := p.Profile.NumSlots()
+	if in.Now < 0 || in.Now >= horizon {
+		return nil, fmt.Errorf("fenrir: reevaluation slot %d outside horizon %d", in.Now, horizon)
+	}
+	canceled := make(map[string]bool, len(in.Canceled))
+	for _, id := range in.Canceled {
+		canceled[id] = true
+	}
+
+	res := &ReevalResult{}
+	next := &Problem{Profile: p.Profile, Capacity: p.Capacity, Weights: p.Weights}
+	var seedGenes []Gene
+
+	for i := range p.Experiments {
+		e := p.Experiments[i]
+		g := s.Genes[i]
+		switch {
+		case canceled[e.ID]:
+			res.Dropped = append(res.Dropped, e.ID)
+		case g.End() <= in.Now:
+			res.Finished = append(res.Finished, e.ID)
+		case g.Start <= in.Now:
+			// Running: keep as-is and freeze; optimizers must not move
+			// an experiment that is already exposed to users (restarting
+			// would skew its collected data).
+			g.Frozen = true
+			next.Experiments = append(next.Experiments, e)
+			seedGenes = append(seedGenes, g)
+		default:
+			// Pending: re-optimizable, but it cannot start in the past.
+			if e.EarliestStart < in.Now {
+				e.EarliestStart = in.Now
+			}
+			if g.Start < e.EarliestStart {
+				g.Start = e.EarliestStart
+				if g.End() > e.latestEnd(horizon) {
+					g.Duration = e.latestEnd(horizon) - g.Start
+					if g.Duration < e.MinDuration {
+						g.Duration = e.MinDuration
+					}
+				}
+			}
+			next.Experiments = append(next.Experiments, e)
+			seedGenes = append(seedGenes, g)
+		}
+	}
+
+	for _, e := range in.Added {
+		if e.EarliestStart < in.Now {
+			e.EarliestStart = in.Now
+		}
+		next.Experiments = append(next.Experiments, e)
+		// Neutral placeholder gene; ValidateSeed below re-places it.
+		seedGenes = append(seedGenes, Gene{
+			Start:    e.EarliestStart,
+			Duration: e.MinDuration,
+			Share:    e.MinShare,
+			// All candidate groups assigned maximizes the chance the
+			// sample-size constraint is satisfiable before optimization.
+			GroupMask: (uint64(1) << uint(len(e.CandidateGroups))) - 1,
+		})
+	}
+
+	if err := next.Validate(); err != nil {
+		return nil, err
+	}
+	res.Problem = next
+	res.Seed = &Schedule{Genes: seedGenes}
+	return res, nil
+}
+
+// FrozenCount returns the number of frozen genes in a schedule.
+func FrozenCount(s *Schedule) int {
+	var n int
+	for _, g := range s.Genes {
+		if g.Frozen {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+package health
+
+import "testing"
+
+func BenchmarkCompare2000Endpoints(b *testing.B) {
+	base, exp, err := GenerateGraphPair(GraphGenConfig{Endpoints: 2000, ChangeFraction: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := Compare(base, exp); len(d.Changes) == 0 {
+			b.Fatal("no changes")
+		}
+	}
+}
+
+func BenchmarkRankHeuristics(b *testing.B) {
+	base, exp, err := GenerateGraphPair(GraphGenConfig{Endpoints: 2000, ChangeFraction: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := Compare(base, exp)
+	for _, h := range AllHeuristics() {
+		h := h
+		b.Run(h.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Rank(h, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,288 @@
+// Package health implements the paper's analysis-phase contribution
+// (Chapter 5): topology-aware experiment health assessment. It
+// constructs the topological difference between the interaction graphs
+// of a baseline and an experimental variant, classifies the surfaced
+// changes into the fundamental and composed change types of
+// Section 5.4.3, and ranks them by potential negative impact using
+// three heuristics (subtree complexity, response-time analysis, and a
+// hybrid) in six variations, evaluated with nDCG@5.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"contexp/internal/topology"
+	"contexp/internal/tracing"
+)
+
+// ChangeType classifies a topological change (Section 5.4.3).
+type ChangeType int
+
+// Fundamental change types.
+const (
+	// ChangeCallNewEndpoint: the experimental variant calls an endpoint
+	// that did not exist anywhere in the baseline topology.
+	ChangeCallNewEndpoint ChangeType = iota + 1
+	// ChangeCallExistingEndpoint: a new call edge to an endpoint the
+	// baseline already exposed.
+	ChangeCallExistingEndpoint
+	// ChangeRemoveCall: a baseline call edge the experimental variant
+	// no longer makes.
+	ChangeRemoveCall
+
+	// Composed change types (combinations of fundamental ones caused by
+	// version updates).
+
+	// ChangeUpdatedCallerVersion: same logical interaction, new caller
+	// version.
+	ChangeUpdatedCallerVersion
+	// ChangeUpdatedCalleeVersion: same logical interaction, new callee
+	// version.
+	ChangeUpdatedCalleeVersion
+	// ChangeUpdatedVersion: both endpoints updated.
+	ChangeUpdatedVersion
+)
+
+// String names the change type.
+func (t ChangeType) String() string {
+	switch t {
+	case ChangeCallNewEndpoint:
+		return "call-new-endpoint"
+	case ChangeCallExistingEndpoint:
+		return "call-existing-endpoint"
+	case ChangeRemoveCall:
+		return "remove-call"
+	case ChangeUpdatedCallerVersion:
+		return "updated-caller-version"
+	case ChangeUpdatedCalleeVersion:
+		return "updated-callee-version"
+	case ChangeUpdatedVersion:
+		return "updated-version"
+	default:
+		return fmt.Sprintf("change(%d)", int(t))
+	}
+}
+
+// Uncertainty maps change types to the scalar weights of the paper's
+// uncertainty concept: consuming a completely new service introduces
+// more uncertainty than updating the version of an existing one, which
+// introduces more than removing a call (Section 1.2.4).
+func (t ChangeType) Uncertainty() float64 {
+	switch t {
+	case ChangeCallNewEndpoint:
+		return 1.0
+	case ChangeUpdatedVersion:
+		return 0.8
+	case ChangeUpdatedCalleeVersion:
+		return 0.7
+	case ChangeUpdatedCallerVersion:
+		return 0.5
+	case ChangeCallExistingEndpoint:
+		return 0.4
+	case ChangeRemoveCall:
+		return 0.3
+	default:
+		return 0.1
+	}
+}
+
+// Change is one identified topological change.
+type Change struct {
+	Type ChangeType
+	// Edge is the concrete changed interaction: in the experimental
+	// graph for additions/updates, in the baseline for removals.
+	Edge topology.EdgeKey
+	// Subject is the node the change is attributed to (the callee for
+	// call and callee-version changes, the caller for caller-version
+	// changes).
+	Subject tracing.NodeKey
+}
+
+// ID renders a stable identifier used to match ground-truth relevance
+// labels in the ranking evaluation.
+func (c Change) ID() string {
+	return c.Type.String() + "|" + c.Edge.String()
+}
+
+// String renders the change.
+func (c Change) String() string {
+	return fmt.Sprintf("%s: %s", c.Type, c.Edge)
+}
+
+// Diff is the topological difference of two interaction graphs
+// (Section 5.5.1).
+type Diff struct {
+	Base, Exp *topology.Graph
+	Changes   []Change
+	// AddedNodes / RemovedNodes / UpdatedServices summarize node-level
+	// status for the visualization (green/red/yellow in Fig 1.3).
+	AddedNodes   []tracing.NodeKey
+	RemovedNodes []tracing.NodeKey
+	// UpdatedServices are services whose version set changed.
+	UpdatedServices []string
+}
+
+// logicalEdge identifies an interaction ignoring versions.
+type logicalEdge struct {
+	FromSvc, FromEp string
+	ToSvc, ToEp     string
+}
+
+func logical(e topology.EdgeKey) logicalEdge {
+	return logicalEdge{
+		FromSvc: e.From.Service, FromEp: e.From.Endpoint,
+		ToSvc: e.To.Service, ToEp: e.To.Endpoint,
+	}
+}
+
+// logicalEndpoint identifies an endpoint ignoring versions.
+type logicalEndpoint struct {
+	Svc, Ep string
+}
+
+// Compare constructs the topological difference between the baseline
+// and experimental graphs and classifies every change.
+func Compare(base, exp *topology.Graph) *Diff {
+	d := &Diff{Base: base, Exp: exp}
+
+	baseEdges := make(map[topology.EdgeKey]bool, len(base.Edges))
+	baseLogical := make(map[logicalEdge][]topology.EdgeKey)
+	for ek := range base.Edges {
+		baseEdges[ek] = true
+		le := logical(ek)
+		baseLogical[le] = append(baseLogical[le], ek)
+	}
+	expLogical := make(map[logicalEdge]bool, len(exp.Edges))
+	for ek := range exp.Edges {
+		expLogical[logical(ek)] = true
+	}
+	baseEndpoints := make(map[logicalEndpoint]bool, len(base.Nodes))
+	baseVersions := make(map[logicalEndpoint]map[string]bool)
+	for nk := range base.Nodes {
+		le := logicalEndpoint{nk.Service, nk.Endpoint}
+		baseEndpoints[le] = true
+		if baseVersions[le] == nil {
+			baseVersions[le] = make(map[string]bool)
+		}
+		baseVersions[le][nk.Version] = true
+	}
+
+	// Additions and version updates: iterate experimental edges in
+	// deterministic order.
+	for _, ek := range exp.SortedEdges() {
+		if baseEdges[ek] {
+			continue // unchanged
+		}
+		le := logical(ek)
+		if _, ok := baseLogical[le]; ok {
+			callerNew := !baseVersions[logicalEndpoint{ek.From.Service, ek.From.Endpoint}][ek.From.Version]
+			calleeNew := !baseVersions[logicalEndpoint{ek.To.Service, ek.To.Endpoint}][ek.To.Version]
+			switch {
+			case callerNew && calleeNew:
+				d.Changes = append(d.Changes, Change{Type: ChangeUpdatedVersion, Edge: ek, Subject: ek.To})
+			case calleeNew:
+				d.Changes = append(d.Changes, Change{Type: ChangeUpdatedCalleeVersion, Edge: ek, Subject: ek.To})
+			case callerNew:
+				d.Changes = append(d.Changes, Change{Type: ChangeUpdatedCallerVersion, Edge: ek, Subject: ek.From})
+			default:
+				// New pairing of versions that both existed: treat as a
+				// new call to an existing endpoint.
+				d.Changes = append(d.Changes, Change{Type: ChangeCallExistingEndpoint, Edge: ek, Subject: ek.To})
+			}
+			continue
+		}
+		if baseEndpoints[logicalEndpoint{ek.To.Service, ek.To.Endpoint}] {
+			d.Changes = append(d.Changes, Change{Type: ChangeCallExistingEndpoint, Edge: ek, Subject: ek.To})
+		} else {
+			d.Changes = append(d.Changes, Change{Type: ChangeCallNewEndpoint, Edge: ek, Subject: ek.To})
+		}
+	}
+
+	// Removals: baseline edges whose logical interaction disappeared.
+	for _, ek := range base.SortedEdges() {
+		if _, stillThere := exp.Edges[ek]; stillThere {
+			continue
+		}
+		if expLogical[logical(ek)] {
+			continue // explained by a version update above
+		}
+		d.Changes = append(d.Changes, Change{Type: ChangeRemoveCall, Edge: ek, Subject: ek.To})
+	}
+
+	d.summarizeNodes()
+	return d
+}
+
+func (d *Diff) summarizeNodes() {
+	baseNodes := make(map[tracing.NodeKey]bool, len(d.Base.Nodes))
+	for nk := range d.Base.Nodes {
+		baseNodes[nk] = true
+	}
+	for _, nk := range d.Exp.SortedNodes() {
+		if !baseNodes[nk] {
+			d.AddedNodes = append(d.AddedNodes, nk)
+		}
+	}
+	expNodes := make(map[tracing.NodeKey]bool, len(d.Exp.Nodes))
+	for nk := range d.Exp.Nodes {
+		expNodes[nk] = true
+	}
+	for _, nk := range d.Base.SortedNodes() {
+		if !expNodes[nk] {
+			d.RemovedNodes = append(d.RemovedNodes, nk)
+		}
+	}
+	baseVers := d.Base.ServiceVersions()
+	expVers := d.Exp.ServiceVersions()
+	seen := make(map[string]bool)
+	for svc, evs := range expVers {
+		bvs := baseVers[svc]
+		if len(bvs) == 0 {
+			continue // whole service is new; covered by AddedNodes
+		}
+		bset := make(map[string]bool, len(bvs))
+		for _, v := range bvs {
+			bset[v] = true
+		}
+		for _, v := range evs {
+			if !bset[v] && !seen[svc] {
+				seen[svc] = true
+				d.UpdatedServices = append(d.UpdatedServices, svc)
+			}
+		}
+	}
+	sort.Strings(d.UpdatedServices)
+}
+
+// CountByType returns how many changes of each type were identified.
+func (d *Diff) CountByType() map[ChangeType]int {
+	out := make(map[ChangeType]int)
+	for _, c := range d.Changes {
+		out[c.Type]++
+	}
+	return out
+}
+
+// Render produces the textual counterpart of the diff visualization
+// (Fig 1.3 / Fig 5.2): added nodes green (+), removed red (-), updated
+// services yellow (~), followed by the classified changes.
+func (d *Diff) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topological difference: %d changes, +%d nodes, -%d nodes, ~%d services\n",
+		len(d.Changes), len(d.AddedNodes), len(d.RemovedNodes), len(d.UpdatedServices))
+	for _, nk := range d.AddedNodes {
+		fmt.Fprintf(&b, "  + %s\n", nk)
+	}
+	for _, nk := range d.RemovedNodes {
+		fmt.Fprintf(&b, "  - %s\n", nk)
+	}
+	for _, svc := range d.UpdatedServices {
+		fmt.Fprintf(&b, "  ~ %s\n", svc)
+	}
+	for _, c := range d.Changes {
+		fmt.Fprintf(&b, "  * %s\n", c)
+	}
+	return b.String()
+}

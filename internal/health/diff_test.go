@@ -1,0 +1,205 @@
+package health
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"contexp/internal/topology"
+	"contexp/internal/tracing"
+)
+
+func nk(svc, ver, ep string) tracing.NodeKey {
+	return tracing.NodeKey{Service: svc, Version: ver, Endpoint: ep}
+}
+
+// graphFrom builds a graph from (from, to) node pairs with the given
+// per-node mean latency in ms.
+func graphFrom(variant tracing.Variant, edges [][2]tracing.NodeKey, latency map[tracing.NodeKey]float64) *topology.Graph {
+	g := topology.NewGraph(variant)
+	add := func(k tracing.NodeKey) {
+		if g.Nodes[k] != nil {
+			return
+		}
+		ms := latency[k]
+		if ms == 0 {
+			ms = 10
+		}
+		dur := time.Duration(ms * float64(time.Millisecond))
+		g.Nodes[k] = &topology.Node{Key: k, Calls: 10, TotalDuration: 10 * dur}
+	}
+	for _, e := range edges {
+		add(e[0])
+		add(e[1])
+		ek := topology.EdgeKey{From: e[0], To: e[1]}
+		g.Edges[ek] = &topology.Edge{Key: ek, Calls: 10}
+	}
+	return g
+}
+
+var (
+	feV1  = nk("frontend", "v1", "GET /")
+	recV1 = nk("rec", "v1", "GET /recs")
+	recV2 = nk("rec", "v2", "GET /recs")
+	catV1 = nk("catalog", "v1", "GET /p")
+	usrV1 = nk("users", "v1", "GET /history")
+)
+
+func baselineGraph(lat map[tracing.NodeKey]float64) *topology.Graph {
+	return graphFrom(tracing.VariantBaseline, [][2]tracing.NodeKey{
+		{feV1, recV1},
+		{recV1, catV1},
+	}, lat)
+}
+
+func TestCompareVersionUpdateAndNewEndpoint(t *testing.T) {
+	base := baselineGraph(nil)
+	// Experiment: rec v2 replaces v1, calling catalog (caller update)
+	// and the brand-new users history endpoint.
+	exp := graphFrom(tracing.VariantExperiment, [][2]tracing.NodeKey{
+		{feV1, recV2},
+		{recV2, catV1},
+		{recV2, usrV1},
+	}, nil)
+
+	d := Compare(base, exp)
+	byType := d.CountByType()
+	if byType[ChangeUpdatedCalleeVersion] != 1 {
+		t.Errorf("updated-callee-version = %d, want 1 (%v)", byType[ChangeUpdatedCalleeVersion], d.Changes)
+	}
+	if byType[ChangeUpdatedCallerVersion] != 1 {
+		t.Errorf("updated-caller-version = %d, want 1 (%v)", byType[ChangeUpdatedCallerVersion], d.Changes)
+	}
+	if byType[ChangeCallNewEndpoint] != 1 {
+		t.Errorf("call-new-endpoint = %d, want 1 (%v)", byType[ChangeCallNewEndpoint], d.Changes)
+	}
+	if byType[ChangeRemoveCall] != 0 {
+		t.Errorf("remove-call = %d, want 0 (version updates must not read as removals)", byType[ChangeRemoveCall])
+	}
+	// Node summary: rec@v2 + users added, rec@v1 removed, rec updated.
+	if len(d.AddedNodes) != 2 {
+		t.Errorf("AddedNodes = %v", d.AddedNodes)
+	}
+	if len(d.RemovedNodes) != 1 || d.RemovedNodes[0] != recV1 {
+		t.Errorf("RemovedNodes = %v", d.RemovedNodes)
+	}
+	if len(d.UpdatedServices) != 1 || d.UpdatedServices[0] != "rec" {
+		t.Errorf("UpdatedServices = %v", d.UpdatedServices)
+	}
+}
+
+func TestCompareUpdatedVersionBothSides(t *testing.T) {
+	base := baselineGraph(nil)
+	// Both frontend and rec updated: fe@v2 -> rec@v2.
+	feV2 := nk("frontend", "v2", "GET /")
+	exp := graphFrom(tracing.VariantExperiment, [][2]tracing.NodeKey{
+		{feV2, recV2},
+		{recV2, catV1},
+	}, nil)
+	d := Compare(base, exp)
+	if d.CountByType()[ChangeUpdatedVersion] != 1 {
+		t.Errorf("updated-version = %d, want 1 (%v)", d.CountByType()[ChangeUpdatedVersion], d.Changes)
+	}
+}
+
+func TestCompareRemoveCall(t *testing.T) {
+	base := baselineGraph(nil)
+	// Experiment drops rec -> catalog entirely.
+	exp := graphFrom(tracing.VariantExperiment, [][2]tracing.NodeKey{
+		{feV1, recV1},
+	}, nil)
+	d := Compare(base, exp)
+	byType := d.CountByType()
+	if byType[ChangeRemoveCall] != 1 {
+		t.Errorf("remove-call = %d (%v)", byType[ChangeRemoveCall], d.Changes)
+	}
+	if len(d.Changes) != 1 {
+		t.Errorf("changes = %v", d.Changes)
+	}
+}
+
+func TestCompareCallExistingEndpoint(t *testing.T) {
+	// Baseline has frontend->rec, rec->catalog. Experiment adds a direct
+	// frontend->catalog call (catalog exists already).
+	base := baselineGraph(nil)
+	exp := graphFrom(tracing.VariantExperiment, [][2]tracing.NodeKey{
+		{feV1, recV1},
+		{recV1, catV1},
+		{feV1, catV1},
+	}, nil)
+	d := Compare(base, exp)
+	byType := d.CountByType()
+	if byType[ChangeCallExistingEndpoint] != 1 {
+		t.Errorf("call-existing-endpoint = %d (%v)", byType[ChangeCallExistingEndpoint], d.Changes)
+	}
+}
+
+func TestCompareIdenticalGraphs(t *testing.T) {
+	base := baselineGraph(nil)
+	exp := baselineGraph(nil)
+	d := Compare(base, exp)
+	if len(d.Changes) != 0 || len(d.AddedNodes) != 0 || len(d.RemovedNodes) != 0 {
+		t.Errorf("identical graphs produced diff: %+v", d.Changes)
+	}
+}
+
+func TestCompareDeterministicOrder(t *testing.T) {
+	base := baselineGraph(nil)
+	exp := graphFrom(tracing.VariantExperiment, [][2]tracing.NodeKey{
+		{feV1, recV2},
+		{recV2, catV1},
+		{recV2, usrV1},
+	}, nil)
+	d1 := Compare(base, exp)
+	d2 := Compare(base, exp)
+	if len(d1.Changes) != len(d2.Changes) {
+		t.Fatal("nondeterministic change count")
+	}
+	for i := range d1.Changes {
+		if d1.Changes[i].ID() != d2.Changes[i].ID() {
+			t.Fatal("nondeterministic change order")
+		}
+	}
+}
+
+func TestChangeTypeStringsAndUncertainty(t *testing.T) {
+	types := []ChangeType{
+		ChangeCallNewEndpoint, ChangeCallExistingEndpoint, ChangeRemoveCall,
+		ChangeUpdatedCallerVersion, ChangeUpdatedCalleeVersion, ChangeUpdatedVersion,
+	}
+	for _, ct := range types {
+		if ct.String() == "" {
+			t.Errorf("empty name for %d", ct)
+		}
+		u := ct.Uncertainty()
+		if u <= 0 || u > 1 {
+			t.Errorf("%v uncertainty %v outside (0,1]", ct, u)
+		}
+	}
+	// The ordering the paper postulates: new service > version update >
+	// new edge > removed edge.
+	if !(ChangeCallNewEndpoint.Uncertainty() > ChangeUpdatedVersion.Uncertainty() &&
+		ChangeUpdatedVersion.Uncertainty() > ChangeCallExistingEndpoint.Uncertainty() &&
+		ChangeCallExistingEndpoint.Uncertainty() > ChangeRemoveCall.Uncertainty()) {
+		t.Error("uncertainty ordering violated")
+	}
+	if ChangeType(99).String() == "" || ChangeType(99).Uncertainty() <= 0 {
+		t.Error("unknown change type should degrade gracefully")
+	}
+}
+
+func TestDiffRender(t *testing.T) {
+	base := baselineGraph(nil)
+	exp := graphFrom(tracing.VariantExperiment, [][2]tracing.NodeKey{
+		{feV1, recV2},
+		{recV2, catV1},
+		{recV2, usrV1},
+	}, nil)
+	d := Compare(base, exp)
+	out := d.Render()
+	for _, want := range []string{"topological difference", "+ ", "- ", "~ rec", "call-new-endpoint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package health
+
+import (
+	"testing"
+	"testing/quick"
+
+	"contexp/internal/stats"
+)
+
+// Property: comparing a generated graph pair classifies every change
+// into a known type, attributes it to a node present in the relevant
+// graph, and never reports a change for identical graphs.
+func TestCompareClassificationProperty(t *testing.T) {
+	f := func(seedRaw uint16, sizeRaw, fracRaw uint8) bool {
+		size := 100 + int(sizeRaw)%400
+		frac := 0.02 + float64(fracRaw%20)/100
+		base, exp, err := GenerateGraphPair(GraphGenConfig{
+			Endpoints:      size,
+			ChangeFraction: frac,
+			Seed:           int64(seedRaw),
+		})
+		if err != nil {
+			return false
+		}
+		d := Compare(base, exp)
+		for _, c := range d.Changes {
+			switch c.Type {
+			case ChangeCallNewEndpoint, ChangeCallExistingEndpoint,
+				ChangeUpdatedCallerVersion, ChangeUpdatedCalleeVersion, ChangeUpdatedVersion:
+				if exp.Nodes[c.Subject] == nil {
+					return false // subject must exist in experimental graph
+				}
+			case ChangeRemoveCall:
+				if base.Nodes[c.Subject] == nil {
+					return false // removed callee must exist in baseline
+				}
+			default:
+				return false
+			}
+		}
+		// Self-comparison is empty.
+		if len(Compare(base, base).Changes) != 0 {
+			return false
+		}
+		if len(Compare(exp, exp).Changes) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every heuristic produces a permutation of the diff's
+// changes with finite scores, and nDCG of any ranking stays in [0,1].
+func TestRankingPermutationProperty(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		base, exp, err := GenerateGraphPair(GraphGenConfig{
+			Endpoints: 200, ChangeFraction: 0.1, Seed: int64(seedRaw),
+		})
+		if err != nil {
+			return false
+		}
+		d := Compare(base, exp)
+		ideal := make([]float64, len(d.Changes))
+		for i, c := range d.Changes {
+			ideal[i] = c.Type.Uncertainty() * 3 // arbitrary relevance
+		}
+		for _, h := range AllHeuristics() {
+			ranked := Rank(h, d)
+			if len(ranked) != len(d.Changes) {
+				return false
+			}
+			seen := make(map[string]bool, len(ranked))
+			gains := make([]float64, len(ranked))
+			for i, c := range ranked {
+				if seen[c.ID()] {
+					return false // duplicate in ranking
+				}
+				seen[c.ID()] = true
+				gains[i] = c.Type.Uncertainty() * 3
+			}
+			ndcg := stats.NDCG(gains, ideal, 5)
+			if ndcg < 0 || ndcg > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

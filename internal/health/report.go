@@ -1,0 +1,86 @@
+package health
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AssessmentReport is the developer-facing artifact of the analysis
+// phase: the topological difference plus every heuristic's ranking —
+// the textual form of the research prototype's UI (Fig 1.3), which
+// lets developers "toggle between multiple selected heuristics" as the
+// paper recommends.
+type AssessmentReport struct {
+	Diff *Diff
+	// Rankings maps heuristic name to its ranked changes.
+	Rankings map[string][]Change
+	// Agreement is the fraction of heuristics that agree with the
+	// majority top-ranked change; low agreement signals the ambiguous
+	// cases where a human should look at all rankings.
+	Agreement float64
+	// TopChange is the majority top-ranked change (zero value when the
+	// diff is empty).
+	TopChange Change
+}
+
+// Assess runs every heuristic over the diff and assembles the report.
+func Assess(d *Diff) *AssessmentReport {
+	rep := &AssessmentReport{Diff: d, Rankings: make(map[string][]Change, 6)}
+	votes := make(map[string]int)
+	voteChange := make(map[string]Change)
+	for _, h := range AllHeuristics() {
+		ranked := Rank(h, d)
+		rep.Rankings[h.Name()] = ranked
+		if len(ranked) > 0 {
+			id := ranked[0].ID()
+			votes[id]++
+			voteChange[id] = ranked[0]
+		}
+	}
+	var best int
+	for id, n := range votes {
+		if n > best {
+			best = n
+			rep.TopChange = voteChange[id]
+		}
+	}
+	if len(rep.Rankings) > 0 {
+		rep.Agreement = float64(best) / float64(len(rep.Rankings))
+	}
+	return rep
+}
+
+// Render formats the assessment for humans.
+func (rep *AssessmentReport) Render() string {
+	var b strings.Builder
+	b.WriteString("experiment health assessment\n")
+	b.WriteString(rep.Diff.Render())
+	if len(rep.Diff.Changes) == 0 {
+		b.WriteString("no topological changes; nothing to rank\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "\nheuristic consensus: %.0f%% agree the top concern is\n  %s\n\n",
+		rep.Agreement*100, rep.TopChange)
+	names := make([]string, 0, len(rep.Rankings))
+	for _, h := range AllHeuristics() {
+		names = append(names, h.Name())
+	}
+	for _, name := range names {
+		ranked := rep.Rankings[name]
+		fmt.Fprintf(&b, "%-18s", name)
+		limit := 3
+		if len(ranked) < limit {
+			limit = len(ranked)
+		}
+		for i := 0; i < limit; i++ {
+			if i > 0 {
+				b.WriteString(" > ")
+			} else {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s(%s)", ranked[i].Type, ranked[i].Subject.Service)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"contexp/internal/tracing"
+)
+
+func TestAssess(t *testing.T) {
+	d := degradedDiff()
+	rep := Assess(d)
+	if len(rep.Rankings) != 6 {
+		t.Fatalf("rankings = %d", len(rep.Rankings))
+	}
+	if rep.Agreement <= 0 || rep.Agreement > 1 {
+		t.Errorf("agreement = %v", rep.Agreement)
+	}
+	// In the degraded diff every heuristic agrees on the rec change.
+	if rep.TopChange.Subject.Service != "rec" {
+		t.Errorf("top change = %v", rep.TopChange)
+	}
+	out := rep.Render()
+	for _, want := range []string{"health assessment", "consensus", "subtree-size", "hybrid-0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestAssessEmptyDiff(t *testing.T) {
+	base := baselineGraph(nil)
+	d := Compare(base, baselineGraph(nil))
+	rep := Assess(d)
+	if len(d.Changes) != 0 {
+		t.Fatal("precondition: diff should be empty")
+	}
+	if rep.TopChange != (Change{}) {
+		t.Errorf("empty diff has top change %v", rep.TopChange)
+	}
+	if !strings.Contains(rep.Render(), "nothing to rank") {
+		t.Error("empty render missing note")
+	}
+}
+
+func TestAssessAgreementReflectsDisagreement(t *testing.T) {
+	// Construct a diff where structural and temporal heuristics disagree:
+	// a big healthy subtree change vs. a small degraded leaf.
+	hubV2 := nk("hub", "v2", "e")
+	leafV2 := nk("leaf", "v2", "e")
+	lat := map[tracing.NodeKey]float64{
+		nk("root", "v1", "e"): 100,
+		nk("hub", "v1", "e"):  10,
+		leafV2:                90, // heavily degraded leaf
+		nk("leaf", "v1", "e"): 10,
+		hubV2:                 10, // hub updated but healthy
+		nk("a", "v1", "e"):    5,
+		nk("b", "v1", "e"):    5,
+		nk("c", "v1", "e"):    5,
+	}
+	base := graphFrom(tracing.VariantBaseline, [][2]tracing.NodeKey{
+		{nk("root", "v1", "e"), nk("hub", "v1", "e")},
+		{nk("hub", "v1", "e"), nk("a", "v1", "e")},
+		{nk("hub", "v1", "e"), nk("b", "v1", "e")},
+		{nk("hub", "v1", "e"), nk("c", "v1", "e")},
+		{nk("root", "v1", "e"), nk("leaf", "v1", "e")},
+	}, lat)
+	exp := graphFrom(tracing.VariantExperiment, [][2]tracing.NodeKey{
+		{nk("root", "v1", "e"), hubV2},
+		{hubV2, nk("a", "v1", "e")},
+		{hubV2, nk("b", "v1", "e")},
+		{hubV2, nk("c", "v1", "e")},
+		{nk("root", "v1", "e"), leafV2},
+	}, lat)
+	rep := Assess(Compare(base, exp))
+	if rep.Agreement > 0.99 {
+		t.Errorf("expected disagreement between structural and temporal heuristics, agreement = %v", rep.Agreement)
+	}
+}

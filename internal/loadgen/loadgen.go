@@ -1,0 +1,209 @@
+// Package loadgen generates the user workload that drives the
+// evaluations: an open-loop arrival process (Poisson by default) over a
+// fixed user population with group memberships. It stands in for the
+// end users of the paper's testbed.
+//
+// The generator targets anything implementing Target; the in-process
+// microsim.Sim and a real-HTTP adapter both qualify, so the same
+// workload definition drives simulated and wire-level experiments.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/router"
+)
+
+// Target executes one request at a virtual or real instant and reports
+// the observed latency and whether the request failed.
+type Target interface {
+	Do(req *router.Request, at time.Time) (latency time.Duration, failed bool, err error)
+}
+
+// TargetFunc adapts a function to the Target interface.
+type TargetFunc func(req *router.Request, at time.Time) (time.Duration, bool, error)
+
+var _ Target = TargetFunc(nil)
+
+// Do implements Target.
+func (f TargetFunc) Do(req *router.Request, at time.Time) (time.Duration, bool, error) {
+	return f(req, at)
+}
+
+// Population is a fixed set of users with group memberships, from which
+// the generator samples request identities.
+type Population struct {
+	users  []user
+	rng    *rand.Rand
+	groups []expmodel.UserGroup
+}
+
+type user struct {
+	id     string
+	groups []expmodel.UserGroup
+}
+
+// PopulationConfig parameterizes NewPopulation.
+type PopulationConfig struct {
+	// Size is the number of distinct users.
+	Size int
+	// Groups assigns each listed group independently with the given
+	// probability to each user.
+	Groups map[expmodel.UserGroup]float64
+	// Seed fixes the assignment.
+	Seed int64
+}
+
+// NewPopulation creates a user population.
+func NewPopulation(cfg PopulationConfig) (*Population, error) {
+	if cfg.Size <= 0 {
+		return nil, errors.New("loadgen: population size must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Deterministic group iteration order.
+	groupList := make([]expmodel.UserGroup, 0, len(cfg.Groups))
+	for g := range cfg.Groups {
+		groupList = append(groupList, g)
+	}
+	sortGroups(groupList)
+	p := &Population{rng: rng, groups: groupList}
+	p.users = make([]user, cfg.Size)
+	for i := range p.users {
+		u := user{id: fmt.Sprintf("user-%06d", i)}
+		for _, g := range groupList {
+			if rng.Float64() < cfg.Groups[g] {
+				u.groups = append(u.groups, g)
+			}
+		}
+		p.users[i] = u
+	}
+	return p, nil
+}
+
+func sortGroups(gs []expmodel.UserGroup) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j] < gs[j-1]; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+// Size returns the number of users.
+func (p *Population) Size() int { return len(p.users) }
+
+// Sample draws a uniformly random user request.
+func (p *Population) Sample() *router.Request {
+	u := p.users[p.rng.Intn(len(p.users))]
+	return &router.Request{UserID: u.id, Groups: u.groups, Header: map[string]string{}}
+}
+
+// GroupShare returns the fraction of users in group g.
+func (p *Population) GroupShare(g expmodel.UserGroup) float64 {
+	if len(p.users) == 0 {
+		return 0
+	}
+	var n int
+	for _, u := range p.users {
+		for _, have := range u.groups {
+			if have == g {
+				n++
+				break
+			}
+		}
+	}
+	return float64(n) / float64(len(p.users))
+}
+
+// Config parameterizes a load run.
+type Config struct {
+	// RPS is the mean arrival rate (requests per second).
+	RPS float64
+	// Duration is the (virtual) time span of the run.
+	Duration time.Duration
+	// Start is the virtual start instant.
+	Start time.Time
+	// Seed fixes the arrival process.
+	Seed int64
+	// Uniform switches from Poisson to evenly spaced arrivals, used by
+	// latency-overhead measurements that want minimal arrival jitter.
+	Uniform bool
+}
+
+// Sample is one completed request.
+type Sample struct {
+	At      time.Time
+	Latency time.Duration
+	Failed  bool
+}
+
+// Result is the outcome of a load run.
+type Result struct {
+	Samples []Sample
+	// Errors counts requests whose Target returned a transport error
+	// (as opposed to an application failure).
+	Errors int
+}
+
+// Latencies extracts the latency column in milliseconds.
+func (r *Result) Latencies() []float64 {
+	out := make([]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		out[i] = float64(s.Latency) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// FailureRate returns the fraction of samples with application failures.
+func (r *Result) FailureRate() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var n int
+	for _, s := range r.Samples {
+		if s.Failed {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Samples))
+}
+
+// Run executes the workload synchronously against target: arrivals are
+// generated up front, each request is issued at its virtual arrival
+// instant. Wall-clock pacing is the caller's concern (the simulated
+// substrates need none).
+func Run(cfg Config, pop *Population, target Target) (*Result, error) {
+	if cfg.RPS <= 0 {
+		return nil, errors.New("loadgen: RPS must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("loadgen: duration must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	at := cfg.Start
+	end := cfg.Start.Add(cfg.Duration)
+	for at.Before(end) {
+		req := pop.Sample()
+		latency, failed, err := target.Do(req, at)
+		if err != nil {
+			res.Errors++
+		} else {
+			res.Samples = append(res.Samples, Sample{At: at, Latency: latency, Failed: failed})
+		}
+		if cfg.Uniform {
+			at = at.Add(interval)
+		} else {
+			gap := time.Duration(rng.ExpFloat64() * float64(interval))
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+			at = at.Add(gap)
+		}
+	}
+	return res, nil
+}

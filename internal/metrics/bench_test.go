@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkRecord(b *testing.B) {
+	st := NewStore(0)
+	scope := Scope{Service: "svc", Version: "v1"}
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Record("rt", scope, now, float64(i))
+	}
+}
+
+func BenchmarkQueryP95(b *testing.B) {
+	st := NewStore(0)
+	scope := Scope{Service: "svc", Version: "v1"}
+	base := time.Now()
+	for i := 0; i < 10000; i++ {
+		st.Record("rt", scope, base.Add(time.Duration(i)*time.Millisecond), float64(i%100))
+	}
+	since := base.Add(5 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query("rt", scope, since, AggP95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package metrics is the in-memory telemetry substrate standing in for
+// the monitoring/APM solutions (New Relic, Prometheus, Istio telemetry)
+// the paper's systems depend on. Bifrost checks query it to decide phase
+// transitions, and the evaluation harnesses read it to reproduce the
+// response-time figures.
+//
+// The store keeps raw observations per (metric, scope) series in a ring
+// buffer and answers windowed aggregate queries: mean, percentiles, rate,
+// count, min, max. A scope identifies which deployment produced the
+// observation — typically service + version, optionally an experiment
+// variant tag.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Scope identifies the deployment a series belongs to.
+type Scope struct {
+	Service string
+	Version string
+	Variant string // experiment variant tag, e.g. "baseline" or "canary"; may be empty
+}
+
+// String renders the scope as service/version[/variant].
+func (s Scope) String() string {
+	if s.Variant == "" {
+		return s.Service + "/" + s.Version
+	}
+	return s.Service + "/" + s.Version + "/" + s.Variant
+}
+
+// Aggregation selects how a window of observations is reduced to one value.
+type Aggregation int
+
+// Supported aggregations.
+const (
+	AggMean Aggregation = iota + 1
+	AggMedian
+	AggP95
+	AggP99
+	AggMin
+	AggMax
+	AggCount
+	AggSum
+	AggRate // observations per second over the window
+)
+
+// ParseAggregation converts the DSL spelling of an aggregation.
+func ParseAggregation(s string) (Aggregation, error) {
+	switch strings.ToLower(s) {
+	case "mean", "avg":
+		return AggMean, nil
+	case "median", "p50":
+		return AggMedian, nil
+	case "p95":
+		return AggP95, nil
+	case "p99":
+		return AggP99, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	case "count":
+		return AggCount, nil
+	case "sum":
+		return AggSum, nil
+	case "rate":
+		return AggRate, nil
+	default:
+		return 0, fmt.Errorf("metrics: unknown aggregation %q", s)
+	}
+}
+
+// String returns the canonical spelling.
+func (a Aggregation) String() string {
+	switch a {
+	case AggMean:
+		return "mean"
+	case AggMedian:
+		return "median"
+	case AggP95:
+		return "p95"
+	case AggP99:
+		return "p99"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggRate:
+		return "rate"
+	default:
+		return fmt.Sprintf("aggregation(%d)", int(a))
+	}
+}
+
+// ErrNoData is returned by queries over series or windows with no
+// observations; Bifrost maps it to an inconclusive check outcome.
+var ErrNoData = errors.New("metrics: no data in window")
+
+type observation struct {
+	at    time.Time
+	value float64
+}
+
+type series struct {
+	mu         sync.Mutex
+	buf        []observation // ring buffer
+	head, size int
+}
+
+func newSeries(capacity int) *series {
+	return &series{buf: make([]observation, capacity)}
+}
+
+func (s *series) record(at time.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := (s.head + s.size) % len(s.buf)
+	s.buf[idx] = observation{at: at, value: v}
+	if s.size < len(s.buf) {
+		s.size++
+	} else {
+		s.head = (s.head + 1) % len(s.buf)
+	}
+}
+
+// window copies out all observations with at >= since.
+func (s *series) window(since time.Time) []observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]observation, 0, s.size)
+	for i := 0; i < s.size; i++ {
+		o := s.buf[(s.head+i)%len(s.buf)]
+		if !o.at.Before(since) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Store is a concurrency-safe metric store. The zero value is not usable;
+// construct with NewStore.
+type Store struct {
+	mu       sync.RWMutex
+	series   map[string]*series
+	capacity int
+}
+
+// DefaultSeriesCapacity bounds the per-series ring buffer; at one
+// observation per request and the evaluation's request rates this holds
+// several minutes of history, which covers every check window used in
+// the paper.
+const DefaultSeriesCapacity = 65536
+
+// NewStore creates a Store holding up to capacity observations per series
+// (DefaultSeriesCapacity when capacity <= 0).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	return &Store{series: make(map[string]*series), capacity: capacity}
+}
+
+func seriesKey(metric string, scope Scope) string {
+	return metric + "\x00" + scope.Service + "\x00" + scope.Version + "\x00" + scope.Variant
+}
+
+// Record appends an observation to (metric, scope) at time at.
+func (st *Store) Record(metric string, scope Scope, at time.Time, value float64) {
+	key := seriesKey(metric, scope)
+	st.mu.RLock()
+	s := st.series[key]
+	st.mu.RUnlock()
+	if s == nil {
+		st.mu.Lock()
+		s = st.series[key]
+		if s == nil {
+			s = newSeries(st.capacity)
+			st.series[key] = s
+		}
+		st.mu.Unlock()
+	}
+	s.record(at, value)
+}
+
+// Query reduces the observations of (metric, scope) recorded at or after
+// `since` (up to `now` semantics are the caller's: everything recorded is
+// included) with the given aggregation.
+func (st *Store) Query(metric string, scope Scope, since time.Time, agg Aggregation) (float64, error) {
+	st.mu.RLock()
+	s := st.series[seriesKey(metric, scope)]
+	st.mu.RUnlock()
+	if s == nil {
+		return 0, fmt.Errorf("%w: no series %s %s", ErrNoData, metric, scope)
+	}
+	obs := s.window(since)
+	if len(obs) == 0 && agg != AggCount && agg != AggRate && agg != AggSum {
+		return 0, ErrNoData
+	}
+	switch agg {
+	case AggCount:
+		return float64(len(obs)), nil
+	case AggSum:
+		var sum float64
+		for _, o := range obs {
+			sum += o.value
+		}
+		return sum, nil
+	case AggRate:
+		if len(obs) < 2 {
+			return 0, nil
+		}
+		span := obs[len(obs)-1].at.Sub(obs[0].at).Seconds()
+		if span <= 0 {
+			return 0, nil
+		}
+		return float64(len(obs)) / span, nil
+	case AggMean:
+		var sum float64
+		for _, o := range obs {
+			sum += o.value
+		}
+		return sum / float64(len(obs)), nil
+	case AggMin:
+		m := obs[0].value
+		for _, o := range obs[1:] {
+			if o.value < m {
+				m = o.value
+			}
+		}
+		return m, nil
+	case AggMax:
+		m := obs[0].value
+		for _, o := range obs[1:] {
+			if o.value > m {
+				m = o.value
+			}
+		}
+		return m, nil
+	case AggMedian, AggP95, AggP99:
+		vals := make([]float64, len(obs))
+		for i, o := range obs {
+			vals[i] = o.value
+		}
+		sort.Float64s(vals)
+		p := map[Aggregation]float64{AggMedian: 0.5, AggP95: 0.95, AggP99: 0.99}[agg]
+		return quantileSorted(vals, p), nil
+	default:
+		return 0, fmt.Errorf("metrics: unsupported aggregation %v", agg)
+	}
+}
+
+// Values returns the raw observation values of (metric, scope) at or after
+// since, in arrival order.
+func (st *Store) Values(metric string, scope Scope, since time.Time) []float64 {
+	st.mu.RLock()
+	s := st.series[seriesKey(metric, scope)]
+	st.mu.RUnlock()
+	if s == nil {
+		return nil
+	}
+	obs := s.window(since)
+	out := make([]float64, len(obs))
+	for i, o := range obs {
+		out[i] = o.value
+	}
+	return out
+}
+
+// SeriesCount returns the number of distinct series in the store.
+func (st *Store) SeriesCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.series)
+}
+
+// Reset drops all series.
+func (st *Store) Reset() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.series = make(map[string]*series)
+}
+
+// quantileSorted mirrors stats.QuantileSorted; duplicated locally to keep
+// the metrics substrate dependency-free of the analysis layer.
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(h)
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	t0      = time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+	scopeV1 = Scope{Service: "catalog", Version: "v1"}
+	scopeV2 = Scope{Service: "catalog", Version: "v2", Variant: "canary"}
+)
+
+func TestScopeString(t *testing.T) {
+	if got := scopeV1.String(); got != "catalog/v1" {
+		t.Errorf("Scope.String = %q", got)
+	}
+	if got := scopeV2.String(); got != "catalog/v2/canary" {
+		t.Errorf("Scope.String = %q", got)
+	}
+}
+
+func TestParseAggregation(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Aggregation
+		wantErr bool
+	}{
+		{"mean", AggMean, false},
+		{"avg", AggMean, false},
+		{"P95", AggP95, false},
+		{"p50", AggMedian, false},
+		{"rate", AggRate, false},
+		{"bogus", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseAggregation(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseAggregation(%q) err = %v", tt.in, err)
+		}
+		if got != tt.want {
+			t.Errorf("ParseAggregation(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAggregationString(t *testing.T) {
+	for _, a := range []Aggregation{AggMean, AggMedian, AggP95, AggP99, AggMin, AggMax, AggCount, AggSum, AggRate} {
+		s := a.String()
+		back, err := ParseAggregation(s)
+		if err != nil || back != a {
+			t.Errorf("round trip %v -> %q -> %v (%v)", a, s, back, err)
+		}
+	}
+	if Aggregation(99).String() == "" {
+		t.Error("unknown aggregation should still produce a string")
+	}
+}
+
+func TestRecordAndQueryAggregations(t *testing.T) {
+	st := NewStore(0)
+	vals := []float64{10, 20, 30, 40, 50}
+	for i, v := range vals {
+		st.Record("response_time", scopeV1, t0.Add(time.Duration(i)*time.Second), v)
+	}
+	tests := []struct {
+		agg  Aggregation
+		want float64
+	}{
+		{AggMean, 30},
+		{AggMedian, 30},
+		{AggMin, 10},
+		{AggMax, 50},
+		{AggCount, 5},
+		{AggSum, 150},
+		{AggP95, 48}, // type-7 quantile of 5 points
+	}
+	for _, tt := range tests {
+		got, err := st.Query("response_time", scopeV1, t0, tt.agg)
+		if err != nil {
+			t.Fatalf("%v: %v", tt.agg, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Query(%v) = %v, want %v", tt.agg, got, tt.want)
+		}
+	}
+}
+
+func TestQueryWindowFiltering(t *testing.T) {
+	st := NewStore(0)
+	for i := 0; i < 10; i++ {
+		st.Record("rt", scopeV1, t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	// Only observations at t0+5s or later.
+	got, err := st.Query("rt", scopeV1, t0.Add(5*time.Second), AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 { // mean of 5..9
+		t.Errorf("windowed mean = %v, want 7", got)
+	}
+}
+
+func TestQueryRate(t *testing.T) {
+	st := NewStore(0)
+	// 11 observations over 10 seconds -> 1.1/s.
+	for i := 0; i <= 10; i++ {
+		st.Record("req", scopeV1, t0.Add(time.Duration(i)*time.Second), 1)
+	}
+	got, err := st.Query("req", scopeV1, t0, AggRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.1) > 1e-9 {
+		t.Errorf("rate = %v, want 1.1", got)
+	}
+	// A single observation has no rate.
+	st2 := NewStore(0)
+	st2.Record("req", scopeV1, t0, 1)
+	if got, err := st2.Query("req", scopeV1, t0, AggRate); err != nil || got != 0 {
+		t.Errorf("single-obs rate = %v, %v", got, err)
+	}
+}
+
+func TestQueryNoData(t *testing.T) {
+	st := NewStore(0)
+	if _, err := st.Query("missing", scopeV1, t0, AggMean); !errors.Is(err, ErrNoData) {
+		t.Errorf("missing series error = %v, want ErrNoData", err)
+	}
+	st.Record("rt", scopeV1, t0, 1)
+	// Window after the only observation.
+	if _, err := st.Query("rt", scopeV1, t0.Add(time.Hour), AggMean); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty window error = %v, want ErrNoData", err)
+	}
+	// Count over an empty window is 0, not an error.
+	if got, err := st.Query("rt", scopeV1, t0.Add(time.Hour), AggCount); err != nil || got != 0 {
+		t.Errorf("empty-window count = %v, %v", got, err)
+	}
+}
+
+func TestScopeIsolation(t *testing.T) {
+	st := NewStore(0)
+	st.Record("rt", scopeV1, t0, 10)
+	st.Record("rt", scopeV2, t0, 1000)
+	got, err := st.Query("rt", scopeV1, t0, AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("scope leakage: got %v", got)
+	}
+	if st.SeriesCount() != 2 {
+		t.Errorf("SeriesCount = %d, want 2", st.SeriesCount())
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	st := NewStore(4)
+	for i := 0; i < 10; i++ {
+		st.Record("rt", scopeV1, t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	vals := st.Values("rt", scopeV1, time.Time{})
+	if len(vals) != 4 {
+		t.Fatalf("len = %d, want 4", len(vals))
+	}
+	for i, want := range []float64{6, 7, 8, 9} {
+		if vals[i] != want {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want)
+		}
+	}
+}
+
+func TestValuesMissingSeries(t *testing.T) {
+	st := NewStore(0)
+	if got := st.Values("rt", scopeV1, time.Time{}); got != nil {
+		t.Errorf("Values of missing series = %v, want nil", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	st := NewStore(0)
+	st.Record("rt", scopeV1, t0, 1)
+	st.Reset()
+	if st.SeriesCount() != 0 {
+		t.Error("Reset did not clear series")
+	}
+}
+
+func TestConcurrentRecordQuery(t *testing.T) {
+	st := NewStore(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scope := Scope{Service: "svc", Version: "v1"}
+			for i := 0; i < 1000; i++ {
+				st.Record("rt", scope, t0.Add(time.Duration(i)*time.Millisecond), float64(i))
+				if i%100 == 0 {
+					_, _ = st.Query("rt", scope, t0, AggMean)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, err := st.Query("rt", Scope{Service: "svc", Version: "v1"}, t0, AggCount); err != nil || got == 0 {
+		t.Errorf("after concurrent writes: count = %v, err = %v", got, err)
+	}
+}
+
+func TestUnsupportedAggregation(t *testing.T) {
+	st := NewStore(0)
+	st.Record("rt", scopeV1, t0, 1)
+	if _, err := st.Query("rt", scopeV1, t0, Aggregation(99)); err == nil {
+		t.Error("expected error for unknown aggregation")
+	}
+}

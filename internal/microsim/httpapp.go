@@ -1,0 +1,243 @@
+package microsim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+)
+
+// HTTPApplication deploys an Application as real HTTP servers on
+// loopback: one backend server per (service, version) plus one routing
+// proxy per service, wired through the shared routing table — the
+// wire-level twin of the in-process Sim. Bifrost strategies executed
+// against the table reroute real requests, exactly as in the paper's
+// testbed (Section 4.5.1), with localhost standing in for the cloud
+// network.
+//
+// Endpoint latencies are slept for real, scaled by LatencyScale, and
+// each backend self-reports response-time/request/error telemetry into
+// the metric store. Downstream calls go through the callee's proxy, so
+// every hop is subject to the experiment routing.
+type HTTPApplication struct {
+	app   *Application
+	table *router.Table
+	store *metrics.Store
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	proxies  map[string]*router.Proxy // service -> proxy
+	servers  []*http.Server
+	closers  []func()
+	frontURL map[string]string // service -> proxy base URL
+
+	latencyScale float64
+}
+
+// HTTPConfig parameterizes StartHTTP.
+type HTTPConfig struct {
+	// LatencyScale multiplies endpoint latencies (e.g. 0.1 runs a 20 ms
+	// endpoint in 2 ms). Default 1.
+	LatencyScale float64
+	// Seed drives latency sampling and error injection.
+	Seed int64
+}
+
+// StartHTTP boots the application. The caller owns table and store and
+// must Close the returned value.
+func StartHTTP(app *Application, table *router.Table, store *metrics.Store, cfg HTTPConfig) (*HTTPApplication, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	scale := cfg.LatencyScale
+	if scale <= 0 {
+		scale = 1
+	}
+	h := &HTTPApplication{
+		app:          app,
+		table:        table,
+		store:        store,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		proxies:      make(map[string]*router.Proxy),
+		frontURL:     make(map[string]string),
+		latencyScale: scale,
+	}
+
+	// Proxies first, so backends can resolve downstream URLs.
+	for _, svc := range app.Services() {
+		proxy := router.NewProxy(svc, table)
+		url, err := h.serve(proxy)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.proxies[svc] = proxy
+		h.frontURL[svc] = url
+		h.closers = append(h.closers, proxy.Close)
+	}
+	// One backend server per service version.
+	for _, svc := range app.Services() {
+		for _, ver := range app.Versions(svc) {
+			sv, err := app.Lookup(svc, ver)
+			if err != nil {
+				h.Close()
+				return nil, err
+			}
+			url, err := h.serve(h.backendHandler(sv))
+			if err != nil {
+				h.Close()
+				return nil, err
+			}
+			if err := h.proxies[svc].RegisterUpstream(ver, url); err != nil {
+				h.Close()
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// EntryURL returns the URL of the entry service's proxy plus the entry
+// endpoint path.
+func (h *HTTPApplication) EntryURL() string {
+	_, path := splitEndpoint(h.app.EntryEndpoint)
+	return h.frontURL[h.app.EntryService] + path
+}
+
+// ServiceURL returns the proxy base URL of a service.
+func (h *HTTPApplication) ServiceURL(service string) string {
+	return h.frontURL[service]
+}
+
+// Close shuts every server and proxy down.
+func (h *HTTPApplication) Close() {
+	for _, srv := range h.servers {
+		_ = srv.Close()
+	}
+	for _, c := range h.closers {
+		c()
+	}
+}
+
+// serve starts an HTTP server on a random loopback port and returns its
+// base URL.
+func (h *HTTPApplication) serve(handler http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("microsim: listen: %w", err)
+	}
+	srv := &http.Server{Handler: handler}
+	h.servers = append(h.servers, srv)
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// backendHandler implements one service version: it dispatches on
+// method+path, sleeps the sampled latency, issues downstream calls
+// through the callees' proxies, and self-reports telemetry.
+func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
+	type route struct {
+		ep     *Endpoint
+		method string
+	}
+	routes := make(map[string]route, len(sv.Endpoints)) // path -> route
+	for name, ep := range sv.Endpoints {
+		method, path := splitEndpoint(name)
+		routes[method+" "+path] = route{ep: ep, method: method}
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt, ok := routes[r.Method+" "+r.URL.Path]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		start := time.Now()
+		ep := rt.ep
+
+		h.mu.Lock()
+		ownMs := ep.Latency.Sample(h.rng) * h.latencyScale
+		failed := h.rng.Float64() < ep.ErrorRate
+		gates := make([]bool, len(ep.Calls))
+		for i, c := range ep.Calls {
+			gates[i] = c.Probability >= 1 || h.rng.Float64() < c.Probability
+		}
+		h.mu.Unlock()
+
+		time.Sleep(time.Duration(ownMs * float64(time.Millisecond)))
+
+		for i, call := range ep.Calls {
+			if !gates[i] {
+				continue
+			}
+			method, path := splitEndpoint(call.Endpoint)
+			req, err := http.NewRequestWithContext(r.Context(), method, h.frontURL[call.Service]+path, nil)
+			if err != nil {
+				failed = true
+				continue
+			}
+			// Propagate the routing identity so sticky assignment holds
+			// across the whole call tree.
+			for _, header := range []string{"X-User-ID", "X-User-Groups"} {
+				if v := r.Header.Get(header); v != "" {
+					req.Header.Set(header, v)
+				}
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				failed = true
+				continue
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				failed = true
+			}
+		}
+
+		variant := ""
+		if r.Header.Get("X-Dark-Launch") == "true" {
+			variant = "dark"
+		}
+		scope := metrics.Scope{Service: sv.Service, Version: sv.Version, Variant: variant}
+		now := time.Now()
+		elapsedMs := float64(time.Since(start)) / float64(time.Millisecond)
+		if h.store != nil {
+			h.store.Record(MetricResponseTime, scope, now, elapsedMs)
+			h.store.Record(MetricRequests, scope, now, 1)
+			if failed {
+				h.store.Record(MetricErrors, scope, now, 1)
+			}
+		}
+		w.Header().Set("X-Version", sv.Version)
+		if failed {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "%s@%s %s ok", sv.Service, sv.Version, r.URL.Path)
+	})
+}
+
+// splitEndpoint splits "GET /products" into method and path. Endpoints
+// without a method default to GET; paths get a leading slash.
+func splitEndpoint(name string) (method, path string) {
+	parts := strings.SplitN(name, " ", 2)
+	if len(parts) == 2 {
+		method, path = parts[0], parts[1]
+	} else {
+		method, path = http.MethodGet, parts[0]
+	}
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return method, path
+}

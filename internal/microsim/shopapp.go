@@ -1,0 +1,115 @@
+package microsim
+
+// ShopApplication builds the microservice-based case-study application
+// used throughout the evaluations, mirroring the structure of the
+// paper's Fig 4.5 and the AB Inc motivating example: customer-facing
+// frontend services (landing page, product catalog, search) and
+// business-related services (accounting/payment, shipping), plus the
+// recommendation service whose release drives the running example.
+//
+// Latency means are in the 3–25 ms range per endpoint, matching the
+// tens-of-milliseconds service times of the paper's testbed.
+//
+// Two versions of the recommendation service exist:
+//
+//	v1 — the stable baseline (simple popularity-based suggestions)
+//	v2 — the experimental personalized recommender: slightly slower,
+//	     calls the new user-history endpoint of the users service
+//
+// Version selection is left to the routing table, so experiments decide
+// who sees v2.
+func ShopApplication() (*Application, error) {
+	app := NewApplication("frontend", "GET /")
+
+	fe := app.AddService("frontend", "v1").
+		Endpoint("GET /", 8, 20).
+		Calls("catalog", "GET /products").
+		Calls("recommendation", "GET /recommendations").
+		Endpoint("GET /search", 6, 15).
+		Calls("search", "GET /query").
+		Endpoint("POST /checkout", 10, 25).
+		Calls("cart", "GET /cart").
+		Calls("checkout", "POST /order")
+	if err := fe.Err(); err != nil {
+		return nil, err
+	}
+
+	cat := app.AddService("catalog", "v1").
+		Endpoint("GET /products", 12, 30).
+		Calls("inventory", "GET /stock").
+		Endpoint("GET /product", 9, 22).
+		Calls("inventory", "GET /stock")
+	if err := cat.Err(); err != nil {
+		return nil, err
+	}
+
+	search := app.AddService("search", "v1").
+		Endpoint("GET /query", 18, 45).
+		Calls("catalog", "GET /product")
+	if err := search.Err(); err != nil {
+		return nil, err
+	}
+
+	rec1 := app.AddService("recommendation", "v1").
+		Endpoint("GET /recommendations", 10, 26).
+		Calls("catalog", "GET /product")
+	if err := rec1.Err(); err != nil {
+		return nil, err
+	}
+
+	// The experimental personalized recommender: ~30% slower and with a
+	// new dependency on the users service's history endpoint.
+	rec2 := app.AddService("recommendation", "v2").
+		Endpoint("GET /recommendations", 13, 34).
+		Calls("catalog", "GET /product").
+		Calls("users", "GET /history")
+	if err := rec2.Err(); err != nil {
+		return nil, err
+	}
+
+	inv := app.AddService("inventory", "v1").
+		Endpoint("GET /stock", 5, 12)
+	if err := inv.Err(); err != nil {
+		return nil, err
+	}
+
+	cart := app.AddService("cart", "v1").
+		Endpoint("GET /cart", 6, 14).
+		Endpoint("POST /add", 7, 16)
+	if err := cart.Err(); err != nil {
+		return nil, err
+	}
+
+	co := app.AddService("checkout", "v1").
+		Endpoint("POST /order", 15, 38).
+		Calls("payment", "POST /charge").
+		Calls("shipping", "POST /dispatch")
+	if err := co.Err(); err != nil {
+		return nil, err
+	}
+
+	pay := app.AddService("payment", "v1").
+		Endpoint("POST /charge", 20, 50).
+		ErrorRate(0.002)
+	if err := pay.Err(); err != nil {
+		return nil, err
+	}
+
+	ship := app.AddService("shipping", "v1").
+		Endpoint("POST /dispatch", 11, 28)
+	if err := ship.Err(); err != nil {
+		return nil, err
+	}
+
+	users := app.AddService("users", "v1").
+		Endpoint("GET /profile", 4, 10).
+		Endpoint("GET /history", 8, 20)
+	if err := users.Err(); err != nil {
+		return nil, err
+	}
+
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}

@@ -1,0 +1,42 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkResolveWeighted(b *testing.B) {
+	tbl := NewTable()
+	if err := tbl.Set(twoArmRoute("catalog", 0.2)); err != nil {
+		b.Fatal(err)
+	}
+	req := &Request{UserID: "user-12345"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Resolve("catalog", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveWithRules(b *testing.B) {
+	tbl := NewTable()
+	route := twoArmRoute("catalog", 0.2)
+	for i := 0; i < 8; i++ {
+		route.Rules = append(route.Rules, Rule{
+			Name:    fmt.Sprintf("rule-%d", i),
+			Match:   HeaderMatcher{Key: fmt.Sprintf("X-H%d", i), Value: "1"},
+			Version: "v2",
+		})
+	}
+	if err := tbl.Set(route); err != nil {
+		b.Fatal(err)
+	}
+	req := &Request{UserID: "user-12345", Header: map[string]string{"X-H7": "1"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Resolve("catalog", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

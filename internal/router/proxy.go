@@ -1,0 +1,193 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+
+	"contexp/internal/expmodel"
+)
+
+// Proxy is the HTTP face of a routing Table: the lightweight
+// per-service proxy the Bifrost architecture places in front of service
+// instances (Section 4.4, and the same pattern Istio later adopted).
+// It resolves the experiment version from the routing table, forwards
+// the request to the registered upstream for (service, version), and
+// fires mirror copies for dark launches.
+//
+// Request attributes are read from headers:
+//
+//	X-User-ID      sticky routing identity
+//	X-User-Groups  comma-separated group memberships
+type Proxy struct {
+	service string
+	table   *Table
+
+	mu        sync.RWMutex
+	upstreams map[string]*httputil.ReverseProxy // version -> proxy
+	targets   map[string]*url.URL
+
+	// MirrorWorkers bounds concurrent mirror requests (default 8).
+	mirror chan mirrorJob
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type mirrorJob struct {
+	version string
+	req     *http.Request
+	body    []byte
+}
+
+var _ http.Handler = (*Proxy)(nil)
+
+// NewProxy creates a proxy for one service backed by table.
+func NewProxy(service string, table *Table) *Proxy {
+	p := &Proxy{
+		service:   service,
+		table:     table,
+		upstreams: make(map[string]*httputil.ReverseProxy),
+		targets:   make(map[string]*url.URL),
+		mirror:    make(chan mirrorJob, 256),
+		closed:    make(chan struct{}),
+	}
+	for i := 0; i < 8; i++ {
+		p.wg.Add(1)
+		go p.mirrorWorker()
+	}
+	return p
+}
+
+// Close stops the mirror workers and waits for them to drain.
+func (p *Proxy) Close() {
+	close(p.closed)
+	close(p.mirror)
+	p.wg.Wait()
+}
+
+// RegisterUpstream maps a version to its backend base URL.
+func (p *Proxy) RegisterUpstream(version, baseURL string) error {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return fmt.Errorf("router: bad upstream url %q: %w", baseURL, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.targets[version] = u
+	p.upstreams[version] = httputil.NewSingleHostReverseProxy(u)
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	req := requestFromHTTP(r)
+	decision, err := p.table.Resolve(p.service, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	p.mu.RLock()
+	upstream := p.upstreams[decision.Version]
+	p.mu.RUnlock()
+	if upstream == nil {
+		http.Error(w, fmt.Sprintf("router: no upstream for %s@%s", p.service, decision.Version),
+			http.StatusBadGateway)
+		return
+	}
+	// Fire mirrors before forwarding so the primary's response time does
+	// not include mirror dispatch beyond the channel send.
+	if len(decision.Mirrors) > 0 {
+		p.enqueueMirrors(r, decision.Mirrors)
+	}
+	r.Header.Set("X-Experiment-Version", decision.Version)
+	upstream.ServeHTTP(w, r)
+}
+
+func (p *Proxy) enqueueMirrors(r *http.Request, mirrors []string) {
+	var body []byte
+	if r.Body != nil && r.ContentLength > 0 {
+		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err == nil {
+			body = b
+			r.Body = io.NopCloser(strings.NewReader(string(b)))
+		}
+	}
+	for _, m := range mirrors {
+		job := mirrorJob{version: m, req: r.Clone(r.Context()), body: body}
+		select {
+		case p.mirror <- job:
+		default:
+			// Mirror queue full: dark-launch traffic is best effort; the
+			// primary path must never block on it.
+		}
+	}
+}
+
+func (p *Proxy) mirrorWorker() {
+	defer p.wg.Done()
+	client := &http.Client{}
+	for job := range p.mirror {
+		p.mu.RLock()
+		target := p.targets[job.version]
+		p.mu.RUnlock()
+		if target == nil {
+			continue
+		}
+		u := *target
+		u.Path = singleJoin(u.Path, job.req.URL.Path)
+		u.RawQuery = job.req.URL.RawQuery
+		var body io.Reader
+		if job.body != nil {
+			body = strings.NewReader(string(job.body))
+		}
+		req, err := http.NewRequest(job.req.Method, u.String(), body)
+		if err != nil {
+			continue
+		}
+		req.Header = job.req.Header.Clone()
+		req.Header.Set("X-Dark-Launch", "true")
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		// Responses of dark launches are discarded.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func singleJoin(a, b string) string {
+	aslash := strings.HasSuffix(a, "/")
+	bslash := strings.HasPrefix(b, "/")
+	switch {
+	case aslash && bslash:
+		return a + b[1:]
+	case !aslash && !bslash:
+		return a + "/" + b
+	}
+	return a + b
+}
+
+// requestFromHTTP extracts routing attributes from HTTP headers.
+func requestFromHTTP(r *http.Request) *Request {
+	req := &Request{
+		UserID: r.Header.Get("X-User-ID"),
+		Header: map[string]string{},
+	}
+	for k := range r.Header {
+		req.Header[k] = r.Header.Get(k)
+	}
+	if groups := r.Header.Get("X-User-Groups"); groups != "" {
+		for _, g := range strings.Split(groups, ",") {
+			g = strings.TrimSpace(g)
+			if g != "" {
+				req.Groups = append(req.Groups, expmodel.UserGroup(g))
+			}
+		}
+	}
+	return req
+}

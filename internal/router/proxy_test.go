@@ -1,0 +1,207 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func backendServer(t *testing.T, name string, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		fmt.Fprintf(w, "hello from %s", name)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestProxyRoutesByWeight(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Set(Route{Service: "catalog", Backends: []Backend{
+		{Version: "v1", Weight: 1},
+		{Version: "v2", Weight: 0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := backendServer(t, "v1", nil)
+	v2 := backendServer(t, "v2", nil)
+
+	p := NewProxy("catalog", tbl)
+	defer p.Close()
+	if err := p.RegisterUpstream("v1", v1.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterUpstream("v2", v2.URL); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, front.URL+"/products", nil)
+	req.Header.Set("X-User-ID", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello from v1" {
+		t.Errorf("body = %q", body)
+	}
+
+	// Flip all traffic to v2 at runtime.
+	if err := tbl.SetWeights("catalog", []Backend{
+		{Version: "v1", Weight: 0}, {Version: "v2", Weight: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello from v2" {
+		t.Errorf("after weight shift body = %q", body)
+	}
+}
+
+func TestProxyRuleRouting(t *testing.T) {
+	tbl := NewTable()
+	route := Route{
+		Service:  "catalog",
+		Backends: []Backend{{Version: "v1", Weight: 1}},
+		Rules:    []Rule{{Name: "beta", Match: GroupMatcher{Group: "beta"}, Version: "v2"}},
+	}
+	if err := tbl.Set(route); err != nil {
+		t.Fatal(err)
+	}
+	v1 := backendServer(t, "v1", nil)
+	v2 := backendServer(t, "v2", nil)
+	p := NewProxy("catalog", tbl)
+	defer p.Close()
+	_ = p.RegisterUpstream("v1", v1.URL)
+	_ = p.RegisterUpstream("v2", v2.URL)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, front.URL+"/", nil)
+	req.Header.Set("X-User-ID", "bob")
+	req.Header.Set("X-User-Groups", "beta, staff")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello from v2" {
+		t.Errorf("beta user routed to %q", body)
+	}
+}
+
+func TestProxyDarkLaunchMirrors(t *testing.T) {
+	var darkHits atomic.Int64
+	v1 := backendServer(t, "v1", nil)
+	dark := backendServer(t, "dark", &darkHits)
+
+	tbl := NewTable()
+	route := Route{
+		Service:  "catalog",
+		Backends: []Backend{{Version: "v1", Weight: 1}},
+		Mirrors:  []string{"v2-dark"},
+	}
+	if err := tbl.Set(route); err != nil {
+		t.Fatal(err)
+	}
+	p := NewProxy("catalog", tbl)
+	defer p.Close()
+	_ = p.RegisterUpstream("v1", v1.URL)
+	_ = p.RegisterUpstream("v2-dark", dark.URL)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		req, _ := http.NewRequest(http.MethodGet, front.URL+"/x", nil)
+		req.Header.Set("X-User-ID", fmt.Sprintf("u%d", i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// Mirrors are async; wait for them to drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for darkHits.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := darkHits.Load(); got != n {
+		t.Errorf("dark launch hits = %d, want %d", got, n)
+	}
+}
+
+func TestProxyErrors(t *testing.T) {
+	tbl := NewTable()
+	p := NewProxy("ghost", tbl)
+	defer p.Close()
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	// No route at all.
+	resp, err := http.Get(front.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+
+	// Route exists but upstream is not registered.
+	_ = tbl.Set(Route{Service: "ghost", Backends: []Backend{{Version: "v1", Weight: 1}}})
+	resp, err = http.Get(front.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502 for missing upstream", resp.StatusCode)
+	}
+
+	if err := p.RegisterUpstream("v1", "://bad-url"); err == nil {
+		t.Error("bad upstream URL should error")
+	}
+}
+
+func TestProxySetsVersionHeader(t *testing.T) {
+	var gotVersion atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotVersion.Store(r.Header.Get("X-Experiment-Version"))
+	}))
+	defer srv.Close()
+
+	tbl := NewTable()
+	_ = tbl.Set(Route{Service: "s", Backends: []Backend{{Version: "v7", Weight: 1}}})
+	p := NewProxy("s", tbl)
+	defer p.Close()
+	_ = p.RegisterUpstream("v7", srv.URL)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if gotVersion.Load() != "v7" {
+		t.Errorf("X-Experiment-Version = %v", gotVersion.Load())
+	}
+}

@@ -1,0 +1,319 @@
+// Package router implements runtime traffic routing, the network-level
+// experimentation technique the study's participants named second-most
+// (Section 2.5.1) and the mechanism Bifrost builds on to escape feature
+// toggles: experimentation logic lives in routing tables, services stay
+// black boxes.
+//
+// A Table maps each service to a Route: an ordered list of match rules
+// (user group / header equality), a weighted split across versions with
+// sticky per-user assignment, and a set of mirror versions that receive
+// duplicated traffic for dark launches.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"contexp/internal/expmodel"
+)
+
+// Request carries the routing-relevant attributes of a user request.
+type Request struct {
+	UserID string
+	Groups []expmodel.UserGroup
+	Header map[string]string
+}
+
+// InGroup reports whether the request's user belongs to g.
+func (r *Request) InGroup(g expmodel.UserGroup) bool {
+	for _, have := range r.Groups {
+		if have == g {
+			return true
+		}
+	}
+	return false
+}
+
+// Matcher decides whether a rule applies to a request.
+type Matcher interface {
+	Match(*Request) bool
+	String() string
+}
+
+// GroupMatcher matches requests whose user belongs to the group.
+type GroupMatcher struct {
+	Group expmodel.UserGroup
+}
+
+var _ Matcher = GroupMatcher{}
+
+// Match implements Matcher.
+func (m GroupMatcher) Match(r *Request) bool { return r.InGroup(m.Group) }
+
+// String implements Matcher.
+func (m GroupMatcher) String() string { return "group=" + string(m.Group) }
+
+// HeaderMatcher matches requests carrying Header[Key] == Value.
+type HeaderMatcher struct {
+	Key, Value string
+}
+
+var _ Matcher = HeaderMatcher{}
+
+// Match implements Matcher.
+func (m HeaderMatcher) Match(r *Request) bool { return r.Header[m.Key] == m.Value }
+
+// String implements Matcher.
+func (m HeaderMatcher) String() string { return "header[" + m.Key + "]=" + m.Value }
+
+// Rule routes matching requests to a fixed version, bypassing the
+// weighted split. Rules implement the "specific user groups, regions"
+// targeting reported in Section 2.6.
+type Rule struct {
+	Name    string
+	Match   Matcher
+	Version string
+}
+
+// Backend is one arm of a weighted traffic split.
+type Backend struct {
+	Version string
+	Weight  float64
+}
+
+// Route is the routing configuration of one service.
+type Route struct {
+	Service  string
+	Rules    []Rule
+	Backends []Backend
+	// Mirrors receive a duplicate of every request routed by the
+	// weighted split; their responses are discarded (dark launch).
+	Mirrors []string
+	// StickySalt changes the user→arm hash; bump it to reshuffle
+	// assignments between experiments so users don't land in the same
+	// bucket across consecutive A/B tests.
+	StickySalt string
+}
+
+// normalize validates the route and normalizes backend weights to sum 1.
+func (r *Route) normalize() error {
+	if len(r.Backends) == 0 {
+		return fmt.Errorf("router: route for %q has no backends", r.Service)
+	}
+	var total float64
+	for _, b := range r.Backends {
+		if b.Weight < 0 {
+			return fmt.Errorf("router: negative weight %v for %s@%s", b.Weight, r.Service, b.Version)
+		}
+		total += b.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("router: route for %q has zero total weight", r.Service)
+	}
+	for i := range r.Backends {
+		r.Backends[i].Weight /= total
+	}
+	return nil
+}
+
+// Decision is the outcome of resolving a request.
+type Decision struct {
+	Version string
+	// Mirrors lists versions that must receive a duplicated request.
+	Mirrors []string
+	// Rule is the name of the matching rule, or "" for the weighted split.
+	Rule string
+	// Sticky is true when the version came from the hash split.
+	Sticky bool
+}
+
+// Table is a concurrency-safe routing table. The zero value is not
+// usable; construct with NewTable.
+type Table struct {
+	mu     sync.RWMutex
+	routes map[string]*Route
+	// version bumps on every mutation; metrics/debug surfaces expose it.
+	version uint64
+}
+
+// NewTable creates an empty routing table.
+func NewTable() *Table {
+	return &Table{routes: make(map[string]*Route)}
+}
+
+// ErrNoRoute is returned when no route exists for the requested service.
+var ErrNoRoute = errors.New("router: no route for service")
+
+// Set installs (or replaces) the route for route.Service. Weights are
+// normalized; invalid routes are rejected without modifying the table.
+func (t *Table) Set(route Route) error {
+	cp := route
+	cp.Rules = append([]Rule(nil), route.Rules...)
+	cp.Backends = append([]Backend(nil), route.Backends...)
+	cp.Mirrors = append([]string(nil), route.Mirrors...)
+	if err := cp.normalize(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.routes[cp.Service] = &cp
+	t.version++
+	return nil
+}
+
+// SetWeights replaces only the weighted split of an existing route,
+// keeping rules and mirrors. It is the operation gradual rollouts use to
+// shift traffic step by step.
+func (t *Table) SetWeights(service string, backends []Backend) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	route, ok := t.routes[service]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRoute, service)
+	}
+	cp := *route
+	cp.Backends = append([]Backend(nil), backends...)
+	if err := cp.normalize(); err != nil {
+		return err
+	}
+	t.routes[service] = &cp
+	t.version++
+	return nil
+}
+
+// SetMirrors replaces the mirror set of an existing route (dark launch
+// on/off switch).
+func (t *Table) SetMirrors(service string, mirrors []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	route, ok := t.routes[service]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRoute, service)
+	}
+	cp := *route
+	cp.Mirrors = append([]string(nil), mirrors...)
+	t.routes[service] = &cp
+	t.version++
+	return nil
+}
+
+// Remove deletes the route for service (no-op when absent).
+func (t *Table) Remove(service string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.routes, service)
+	t.version++
+}
+
+// Route returns a copy of the route for service.
+func (t *Table) Route(service string) (Route, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	route, ok := t.routes[service]
+	if !ok {
+		return Route{}, fmt.Errorf("%w: %s", ErrNoRoute, service)
+	}
+	return *route, nil
+}
+
+// Services returns all configured service names, sorted.
+func (t *Table) Services() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.routes))
+	for s := range t.routes {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version returns the mutation counter.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Resolve decides which version of service handles req.
+// Resolution order: first matching rule wins; otherwise the weighted
+// split assigns the user stickily by hash. Anonymous requests (empty
+// UserID) are hashed per call and are therefore not sticky.
+func (t *Table) Resolve(service string, req *Request) (Decision, error) {
+	t.mu.RLock()
+	route, ok := t.routes[service]
+	t.mu.RUnlock()
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: %s", ErrNoRoute, service)
+	}
+	for _, rule := range route.Rules {
+		if rule.Match.Match(req) {
+			return Decision{Version: rule.Version, Mirrors: route.Mirrors, Rule: rule.Name}, nil
+		}
+	}
+	point := stickyPoint(req.UserID, service, route.StickySalt)
+	var cum float64
+	version := route.Backends[len(route.Backends)-1].Version
+	for _, b := range route.Backends {
+		cum += b.Weight
+		if point < cum {
+			version = b.Version
+			break
+		}
+	}
+	return Decision{Version: version, Mirrors: route.Mirrors, Sticky: req.UserID != ""}, nil
+}
+
+var anonCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// stickyPoint maps (user, service, salt) to [0,1).
+func stickyPoint(userID, service, salt string) float64 {
+	h := fnv.New64a()
+	if userID == "" {
+		anonCounter.mu.Lock()
+		anonCounter.n++
+		n := anonCounter.n
+		anonCounter.mu.Unlock()
+		fmt.Fprintf(h, "anon-%d", n)
+	} else {
+		h.Write([]byte(userID))
+	}
+	h.Write([]byte{0})
+	h.Write([]byte(service))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// String renders the table for debugging and the expctl tool.
+func (t *Table) String() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	names := make([]string, 0, len(t.routes))
+	for s := range t.routes {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		r := t.routes[name]
+		fmt.Fprintf(&b, "%s:\n", name)
+		for _, rule := range r.Rules {
+			fmt.Fprintf(&b, "  rule %s: %s -> %s\n", rule.Name, rule.Match, rule.Version)
+		}
+		for _, be := range r.Backends {
+			fmt.Fprintf(&b, "  %5.1f%% -> %s\n", be.Weight*100, be.Version)
+		}
+		for _, m := range r.Mirrors {
+			fmt.Fprintf(&b, "  mirror -> %s\n", m)
+		}
+	}
+	return b.String()
+}

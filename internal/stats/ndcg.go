@@ -1,0 +1,48 @@
+package stats
+
+import "math"
+
+// NDCG computes the normalized discounted cumulative gain at cutoff k for
+// a ranking. `gains` holds the relevance of the item placed at each rank
+// position (gains[0] is the top-ranked item); `ideal` holds the full set
+// of relevance values available (in any order). This is the ranking-quality
+// metric (Järvelin and Kekäläinen) the paper uses to evaluate the change
+// ranking heuristics (Figs 5.6 and 5.8 report nDCG5 scores).
+//
+// The exponential gain variant (2^rel - 1) is used, matching standard
+// information-retrieval practice. NDCG returns a value in [0, 1]; when the
+// ideal DCG is zero (no relevant items exist) it returns 1, since any
+// ranking of irrelevant items is vacuously perfect.
+func NDCG(gains, ideal []float64, k int) float64 {
+	dcg := dcgAt(gains, k)
+	idealSorted := make([]float64, len(ideal))
+	copy(idealSorted, ideal)
+	sortDesc(idealSorted)
+	idcg := dcgAt(idealSorted, k)
+	if idcg == 0 {
+		return 1
+	}
+	return dcg / idcg
+}
+
+func dcgAt(gains []float64, k int) float64 {
+	if k > len(gains) {
+		k = len(gains)
+	}
+	var dcg float64
+	for i := 0; i < k; i++ {
+		gain := math.Pow(2, gains[i]) - 1
+		dcg += gain / math.Log2(float64(i)+2)
+	}
+	return dcg
+}
+
+func sortDesc(xs []float64) {
+	// Insertion sort is fine: relevance lists at cutoff 5 are tiny, and
+	// the ideal list rarely exceeds a few dozen changes.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"contexp/internal/tracing"
+)
+
+var tBase = time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+
+// buildTrace constructs a trace frontend -> catalog -> db with optional
+// error on the catalog span.
+func buildTrace(id tracing.TraceID, variant tracing.Variant, catalogErr bool) tracing.Trace {
+	spans := []tracing.Span{
+		{TraceID: id, SpanID: 1, Service: "frontend", Version: "v1", Endpoint: "GET /",
+			Start: tBase, Duration: 100 * time.Millisecond, Variant: variant},
+		{TraceID: id, SpanID: 2, ParentID: 1, Service: "catalog", Version: "v1", Endpoint: "GET /products",
+			Start: tBase.Add(5 * time.Millisecond), Duration: 50 * time.Millisecond, Err: catalogErr, Variant: variant},
+		{TraceID: id, SpanID: 3, ParentID: 2, Service: "db", Version: "v1", Endpoint: "QUERY products",
+			Start: tBase.Add(10 * time.Millisecond), Duration: 20 * time.Millisecond, Variant: variant},
+	}
+	return tracing.Trace{ID: id, Variant: variant, Spans: spans}
+}
+
+func nk(svc, ver, ep string) tracing.NodeKey {
+	return tracing.NodeKey{Service: svc, Version: ver, Endpoint: ep}
+}
+
+func TestBuildGraph(t *testing.T) {
+	traces := []tracing.Trace{
+		buildTrace(1, tracing.VariantBaseline, false),
+		buildTrace(2, tracing.VariantBaseline, true),
+	}
+	g := Build(tracing.VariantBaseline, traces)
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.Roots[nk("frontend", "v1", "GET /")] {
+		t.Error("frontend root not detected")
+	}
+	cat := g.Nodes[nk("catalog", "v1", "GET /products")]
+	if cat == nil || cat.Calls != 2 || cat.Errors != 1 {
+		t.Fatalf("catalog node = %+v", cat)
+	}
+	if cat.ErrorRate() != 0.5 {
+		t.Errorf("ErrorRate = %v", cat.ErrorRate())
+	}
+	if cat.MeanDuration() != 50*time.Millisecond {
+		t.Errorf("MeanDuration = %v", cat.MeanDuration())
+	}
+	edge := g.Edges[EdgeKey{From: nk("frontend", "v1", "GET /"), To: nk("catalog", "v1", "GET /products")}]
+	if edge == nil || edge.Calls != 2 {
+		t.Fatalf("frontend->catalog edge = %+v", edge)
+	}
+}
+
+func TestBuildSkipsBrokenTraces(t *testing.T) {
+	broken := tracing.Trace{ID: 9, Spans: []tracing.Span{
+		{TraceID: 9, SpanID: 1, ParentID: 42, Service: "x", Version: "v1", Endpoint: "e"},
+	}}
+	g := Build("", []tracing.Trace{broken, buildTrace(1, "", false)})
+	if g.NumNodes() != 3 {
+		t.Errorf("broken trace contaminated graph: %d nodes", g.NumNodes())
+	}
+}
+
+func TestCalleesDeterministic(t *testing.T) {
+	g := Build("", []tracing.Trace{buildTrace(1, "", false)})
+	callees := g.Callees(nk("frontend", "v1", "GET /"))
+	if len(callees) != 1 || callees[0].Service != "catalog" {
+		t.Fatalf("Callees = %v", callees)
+	}
+	if got := g.Callees(nk("db", "v1", "QUERY products")); len(got) != 0 {
+		t.Errorf("leaf should have no callees, got %v", got)
+	}
+}
+
+func TestSubtreeAndDepth(t *testing.T) {
+	g := Build("", []tracing.Trace{buildTrace(1, "", false)})
+	sub := g.Subtree(nk("frontend", "v1", "GET /"))
+	if len(sub) != 3 {
+		t.Errorf("Subtree size = %d, want 3", len(sub))
+	}
+	if d := g.Depth(nk("frontend", "v1", "GET /")); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	if d := g.Depth(nk("db", "v1", "QUERY products")); d != 1 {
+		t.Errorf("leaf Depth = %d, want 1", d)
+	}
+}
+
+func TestDepthWithCycle(t *testing.T) {
+	// a -> b -> a cycle, plus b -> c.
+	spans := []tracing.Span{
+		{TraceID: 1, SpanID: 1, Service: "a", Version: "v1", Endpoint: "e", Start: tBase},
+		{TraceID: 1, SpanID: 2, ParentID: 1, Service: "b", Version: "v1", Endpoint: "e", Start: tBase.Add(time.Millisecond)},
+		{TraceID: 1, SpanID: 3, ParentID: 2, Service: "a", Version: "v1", Endpoint: "e", Start: tBase.Add(2 * time.Millisecond)},
+		{TraceID: 1, SpanID: 4, ParentID: 2, Service: "c", Version: "v1", Endpoint: "e", Start: tBase.Add(3 * time.Millisecond)},
+	}
+	g := Build("", []tracing.Trace{{ID: 1, Spans: spans}})
+	// Depth must terminate and count a -> b -> c.
+	if d := g.Depth(nk("a", "v1", "e")); d != 3 {
+		t.Errorf("cyclic Depth = %d, want 3", d)
+	}
+	sub := g.Subtree(nk("a", "v1", "e"))
+	if len(sub) != 3 {
+		t.Errorf("cyclic Subtree size = %d, want 3", len(sub))
+	}
+}
+
+func TestServiceVersions(t *testing.T) {
+	traces := []tracing.Trace{buildTrace(1, "", false)}
+	// Add a trace with catalog v2.
+	spans := []tracing.Span{
+		{TraceID: 2, SpanID: 10, Service: "frontend", Version: "v1", Endpoint: "GET /", Start: tBase},
+		{TraceID: 2, SpanID: 11, ParentID: 10, Service: "catalog", Version: "v2", Endpoint: "GET /products", Start: tBase},
+	}
+	traces = append(traces, tracing.Trace{ID: 2, Spans: spans})
+	g := Build("", traces)
+	sv := g.ServiceVersions()
+	if got := sv["catalog"]; len(got) != 2 || got[0] != "v1" || got[1] != "v2" {
+		t.Errorf("catalog versions = %v", got)
+	}
+	if !g.HasEndpoint("catalog", "GET /products") {
+		t.Error("HasEndpoint failed for existing endpoint")
+	}
+	if g.HasEndpoint("catalog", "DELETE /products") {
+		t.Error("HasEndpoint true for missing endpoint")
+	}
+}
+
+func TestSortedNodesAndEdgesStable(t *testing.T) {
+	g := Build("", []tracing.Trace{buildTrace(1, "", false)})
+	n1 := g.SortedNodes()
+	n2 := g.SortedNodes()
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatal("SortedNodes not deterministic")
+		}
+	}
+	e1 := g.SortedEdges()
+	if len(e1) != 2 {
+		t.Fatalf("SortedEdges len = %d", len(e1))
+	}
+	if e1[0].From.Service > e1[1].From.Service {
+		t.Error("edges not sorted")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := Build(tracing.VariantBaseline, []tracing.Trace{buildTrace(1, tracing.VariantBaseline, false)})
+	s := g.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,92 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// This file imports Zipkin-v2 JSON span dumps, so the health
+// assessment can run against traces exported from a real Zipkin or
+// Jaeger deployment (the backends the paper's prototype consumed) —
+// not only against the built-in simulator.
+
+// zipkinSpan is the subset of the Zipkin v2 span schema we consume.
+type zipkinSpan struct {
+	TraceID  string `json:"traceId"`
+	ID       string `json:"id"`
+	ParentID string `json:"parentId"`
+	Name     string `json:"name"`
+	Ts       int64  `json:"timestamp"` // microseconds since epoch
+	Duration int64  `json:"duration"`  // microseconds
+	Local    struct {
+		ServiceName string `json:"serviceName"`
+	} `json:"localEndpoint"`
+	Tags map[string]string `json:"tags"`
+}
+
+// ImportZipkin parses a Zipkin-v2 JSON array of spans and records them
+// into the collector. Version and variant are read from the "version"
+// and "variant" tags (defaulting to "v1" and baseline); an "error" tag
+// marks failures. IDs are parsed as hexadecimal, matching Zipkin's
+// encoding; 128-bit trace IDs use their low 64 bits.
+func (c *Collector) ImportZipkin(data []byte) (int, error) {
+	var spans []zipkinSpan
+	if err := json.Unmarshal(data, &spans); err != nil {
+		return 0, fmt.Errorf("tracing: bad zipkin JSON: %w", err)
+	}
+	var imported int
+	for i, zs := range spans {
+		traceID, err := parseHexID(zs.TraceID)
+		if err != nil {
+			return imported, fmt.Errorf("tracing: span %d: bad traceId %q", i, zs.TraceID)
+		}
+		spanID, err := parseHexID(zs.ID)
+		if err != nil {
+			return imported, fmt.Errorf("tracing: span %d: bad id %q", i, zs.ID)
+		}
+		var parentID SpanID
+		if zs.ParentID != "" {
+			pid, err := parseHexID(zs.ParentID)
+			if err != nil {
+				return imported, fmt.Errorf("tracing: span %d: bad parentId %q", i, zs.ParentID)
+			}
+			parentID = SpanID(pid)
+		}
+		if zs.Local.ServiceName == "" {
+			return imported, fmt.Errorf("tracing: span %d: missing localEndpoint.serviceName", i)
+		}
+		version := zs.Tags["version"]
+		if version == "" {
+			version = "v1"
+		}
+		variant := Variant(zs.Tags["variant"])
+		if variant == "" {
+			variant = VariantBaseline
+		}
+		c.Record(Span{
+			TraceID:  TraceID(traceID),
+			SpanID:   SpanID(spanID),
+			ParentID: parentID,
+			Service:  zs.Local.ServiceName,
+			Version:  version,
+			Endpoint: zs.Name,
+			Start:    time.UnixMicro(zs.Ts),
+			Duration: time.Duration(zs.Duration) * time.Microsecond,
+			Err:      zs.Tags["error"] != "",
+			Variant:  variant,
+		})
+		imported++
+	}
+	return imported, nil
+}
+
+// parseHexID parses a Zipkin hex ID, keeping the low 64 bits of
+// 128-bit trace IDs.
+func parseHexID(s string) (uint64, error) {
+	if len(s) > 16 {
+		s = s[len(s)-16:]
+	}
+	return strconv.ParseUint(s, 16, 64)
+}

@@ -1,0 +1,135 @@
+package tracing
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+const zipkinSample = `[
+  {
+    "traceId": "0000000000000001",
+    "id": "a1",
+    "name": "GET /",
+    "timestamp": 1513000000000000,
+    "duration": 100000,
+    "localEndpoint": {"serviceName": "frontend"},
+    "tags": {"version": "v1", "variant": "baseline"}
+  },
+  {
+    "traceId": "0000000000000001",
+    "id": "a2",
+    "parentId": "a1",
+    "name": "GET /products",
+    "timestamp": 1513000000010000,
+    "duration": 40000,
+    "localEndpoint": {"serviceName": "catalog"},
+    "tags": {"version": "v2", "error": "true"}
+  }
+]`
+
+func TestImportZipkin(t *testing.T) {
+	c := NewCollector()
+	n, err := c.ImportZipkin([]byte(zipkinSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("imported = %d", n)
+	}
+	traces := c.Traces("")
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	tr := traces[0]
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root, ok := tr.Root()
+	if !ok || root.Service != "frontend" || root.Duration != 100*time.Millisecond {
+		t.Errorf("root = %+v", root)
+	}
+	var child Span
+	for _, s := range tr.Spans {
+		if s.ParentID != 0 {
+			child = s
+		}
+	}
+	if child.Service != "catalog" || child.Version != "v2" || !child.Err {
+		t.Errorf("child = %+v", child)
+	}
+	if child.ParentID != root.SpanID {
+		t.Error("parent link broken")
+	}
+}
+
+func TestImportZipkinRoundTrip(t *testing.T) {
+	// Export a collected trace via MarshalJSON and import it back.
+	c := NewCollector()
+	sampleTrace(c, VariantExperiment)
+	orig := c.Traces("")[0]
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCollector()
+	if _, err := c2.ImportZipkin(data); err != nil {
+		t.Fatal(err)
+	}
+	back := c2.Traces("")[0]
+	if len(back.Spans) != len(orig.Spans) {
+		t.Fatalf("span count %d != %d", len(back.Spans), len(orig.Spans))
+	}
+	if back.Variant != VariantExperiment {
+		t.Errorf("variant = %v", back.Variant)
+	}
+	for i := range orig.Spans {
+		o, b := orig.Spans[i], back.Spans[i]
+		if o.Service != b.Service || o.Version != b.Version || o.Endpoint != b.Endpoint {
+			t.Errorf("span %d: %+v != %+v", i, o, b)
+		}
+		// Timestamps round to microseconds in the Zipkin schema, and
+		// come back in a different location; compare instants.
+		if !o.Start.Truncate(time.Microsecond).Equal(b.Start) || o.Duration != b.Duration {
+			t.Errorf("span %d timing: %v/%v vs %v/%v", i, o.Start, o.Duration, b.Start, b.Duration)
+		}
+	}
+}
+
+func TestImportZipkin128BitTraceID(t *testing.T) {
+	src := `[{"traceId": "463ac35c9f6413ad48485a3953bb6124", "id": "1",
+		"name": "e", "timestamp": 0, "duration": 1,
+		"localEndpoint": {"serviceName": "s"}}]`
+	c := NewCollector()
+	if _, err := c.ImportZipkin([]byte(src)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Traces("")); got != 1 {
+		t.Errorf("traces = %d", got)
+	}
+}
+
+func TestImportZipkinErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"not json", "{", "bad zipkin JSON"},
+		{"bad trace id", `[{"traceId": "xx", "id": "1", "name": "e",
+			"localEndpoint": {"serviceName": "s"}}]`, "bad traceId"},
+		{"bad span id", `[{"traceId": "1", "id": "zz", "name": "e",
+			"localEndpoint": {"serviceName": "s"}}]`, "bad id"},
+		{"bad parent id", `[{"traceId": "1", "id": "1", "parentId": "qq", "name": "e",
+			"localEndpoint": {"serviceName": "s"}}]`, "bad parentId"},
+		{"missing service", `[{"traceId": "1", "id": "1", "name": "e"}]`, "serviceName"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := NewCollector()
+			_, err := c.ImportZipkin([]byte(tt.src))
+			if err == nil || !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("err = %v, want containing %q", err, tt.wantSub)
+			}
+		})
+	}
+}

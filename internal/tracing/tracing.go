@@ -1,0 +1,243 @@
+// Package tracing is the distributed-tracing substrate standing in for
+// Zipkin/Jaeger, which Chapter 5's health assessment consumes. A Span
+// records one endpoint invocation: which (service, version, endpoint)
+// handled it, who called it, when, for how long, and whether it failed.
+// Spans sharing a TraceID form a Trace; Traces carry a Variant tag so
+// baseline and experimental user populations can be separated, which is
+// what enables the topological comparison of Section 5.5.
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Variant labels which experiment population a trace belongs to.
+type Variant string
+
+// Conventional variant labels used throughout the framework.
+const (
+	VariantBaseline   Variant = "baseline"
+	VariantExperiment Variant = "experiment"
+)
+
+// SpanID identifies a span within a trace.
+type SpanID uint64
+
+// TraceID identifies an end-to-end user interaction.
+type TraceID uint64
+
+// Span is one endpoint invocation, modeled on the Zipkin/Jaeger span
+// fields the paper's prototype extracts.
+type Span struct {
+	TraceID  TraceID       `json:"traceId"`
+	SpanID   SpanID        `json:"id"`
+	ParentID SpanID        `json:"parentId,omitempty"` // 0 for root spans
+	Service  string        `json:"localEndpoint"`
+	Version  string        `json:"version"`
+	Endpoint string        `json:"name"` // e.g. "GET /products/{id}"
+	Start    time.Time     `json:"timestamp"`
+	Duration time.Duration `json:"duration"`
+	Err      bool          `json:"error,omitempty"`
+	Variant  Variant       `json:"variant,omitempty"`
+}
+
+// Node returns the topology node key of the span: the (service, version,
+// endpoint) triple Chapter 5 compares at.
+func (s Span) Node() NodeKey {
+	return NodeKey{Service: s.Service, Version: s.Version, Endpoint: s.Endpoint}
+}
+
+// NodeKey identifies an endpoint of a service in a specific version.
+type NodeKey struct {
+	Service  string
+	Version  string
+	Endpoint string
+}
+
+// String renders service@version:endpoint.
+func (k NodeKey) String() string {
+	return k.Service + "@" + k.Version + ":" + k.Endpoint
+}
+
+// Trace is the tree of spans of one user interaction.
+type Trace struct {
+	ID      TraceID
+	Variant Variant
+	Spans   []Span
+}
+
+// Root returns the root span (ParentID == 0) and true, or a zero Span and
+// false when the trace is empty or broken.
+func (t *Trace) Root() (Span, bool) {
+	for _, s := range t.Spans {
+		if s.ParentID == 0 {
+			return s, true
+		}
+	}
+	return Span{}, false
+}
+
+// Duration returns the root span's duration, the end-user-visible latency.
+func (t *Trace) Duration() time.Duration {
+	if root, ok := t.Root(); ok {
+		return root.Duration
+	}
+	return 0
+}
+
+// Collector gathers spans concurrently and assembles them into traces.
+// It is the in-memory stand-in for a Zipkin/Jaeger backend. The zero
+// value is not usable; construct with NewCollector.
+type Collector struct {
+	mu     sync.Mutex
+	spans  map[TraceID][]Span
+	nextID atomic.Uint64
+}
+
+// NewCollector creates an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{spans: make(map[TraceID][]Span)}
+}
+
+// NextTraceID allocates a fresh trace identifier.
+func (c *Collector) NextTraceID() TraceID {
+	return TraceID(c.nextID.Add(1))
+}
+
+// NextSpanID allocates a fresh span identifier (shared sequence with
+// trace IDs; uniqueness is all that matters).
+func (c *Collector) NextSpanID() SpanID {
+	return SpanID(c.nextID.Add(1))
+}
+
+// Record stores one finished span.
+func (c *Collector) Record(s Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans[s.TraceID] = append(c.spans[s.TraceID], s)
+}
+
+// Traces assembles and returns all collected traces, optionally filtered
+// by variant ("" keeps everything). Spans within a trace are ordered by
+// start time; traces are ordered by ID for determinism.
+func (c *Collector) Traces(variant Variant) []Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]TraceID, 0, len(c.spans))
+	for id := range c.spans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	out := make([]Trace, 0, len(ids))
+	for _, id := range ids {
+		spans := c.spans[id]
+		if len(spans) == 0 {
+			continue
+		}
+		v := spans[0].Variant
+		if variant != "" && v != variant {
+			continue
+		}
+		cp := make([]Span, len(spans))
+		copy(cp, spans)
+		sort.Slice(cp, func(i, j int) bool { return cp[i].Start.Before(cp[j].Start) })
+		out = append(out, Trace{ID: id, Variant: v, Spans: cp})
+	}
+	return out
+}
+
+// SpanCount returns the total number of spans collected.
+func (c *Collector) SpanCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int
+	for _, ss := range c.spans {
+		n += len(ss)
+	}
+	return n
+}
+
+// Reset drops all collected spans.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = make(map[TraceID][]Span)
+}
+
+// MarshalJSON encodes the trace in a Zipkin-v2-like JSON array form, so
+// collected traces can be inspected with external tools.
+func (t Trace) MarshalJSON() ([]byte, error) {
+	type jsonSpan struct {
+		TraceID  string `json:"traceId"`
+		ID       string `json:"id"`
+		ParentID string `json:"parentId,omitempty"`
+		Name     string `json:"name"`
+		Kind     string `json:"kind"`
+		Ts       int64  `json:"timestamp"` // microseconds
+		Duration int64  `json:"duration"`  // microseconds
+		Local    struct {
+			ServiceName string `json:"serviceName"`
+		} `json:"localEndpoint"`
+		Tags map[string]string `json:"tags,omitempty"`
+	}
+	out := make([]jsonSpan, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		js := jsonSpan{
+			TraceID:  strconv.FormatUint(uint64(s.TraceID), 16),
+			ID:       strconv.FormatUint(uint64(s.SpanID), 16),
+			Name:     s.Endpoint,
+			Kind:     "SERVER",
+			Ts:       s.Start.UnixMicro(),
+			Duration: s.Duration.Microseconds(),
+			Tags: map[string]string{
+				"version": s.Version,
+				"variant": string(s.Variant),
+			},
+		}
+		if s.ParentID != 0 {
+			js.ParentID = strconv.FormatUint(uint64(s.ParentID), 16)
+		}
+		if s.Err {
+			js.Tags["error"] = "true"
+		}
+		js.Local.ServiceName = s.Service
+		out = append(out, js)
+	}
+	return json.Marshal(out)
+}
+
+// Validate checks structural integrity of a trace: exactly one root, all
+// parents resolvable, children within the parent's time range is NOT
+// required (clock skew exists in real systems), no duplicate span IDs.
+func (t *Trace) Validate() error {
+	if len(t.Spans) == 0 {
+		return fmt.Errorf("tracing: trace %d has no spans", t.ID)
+	}
+	seen := make(map[SpanID]bool, len(t.Spans))
+	var roots int
+	for _, s := range t.Spans {
+		if seen[s.SpanID] {
+			return fmt.Errorf("tracing: trace %d has duplicate span %d", t.ID, s.SpanID)
+		}
+		seen[s.SpanID] = true
+		if s.ParentID == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("tracing: trace %d has %d roots, want 1", t.ID, roots)
+	}
+	for _, s := range t.Spans {
+		if s.ParentID != 0 && !seen[s.ParentID] {
+			return fmt.Errorf("tracing: trace %d span %d has unknown parent %d", t.ID, s.SpanID, s.ParentID)
+		}
+	}
+	return nil
+}

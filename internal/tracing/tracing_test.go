@@ -1,0 +1,208 @@
+package tracing
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var tBase = time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+
+func sampleTrace(c *Collector, variant Variant) TraceID {
+	tid := c.NextTraceID()
+	root := Span{
+		TraceID: tid, SpanID: c.NextSpanID(),
+		Service: "frontend", Version: "v1", Endpoint: "GET /",
+		Start: tBase, Duration: 100 * time.Millisecond, Variant: variant,
+	}
+	child := Span{
+		TraceID: tid, SpanID: c.NextSpanID(), ParentID: root.SpanID,
+		Service: "catalog", Version: "v2", Endpoint: "GET /products",
+		Start: tBase.Add(10 * time.Millisecond), Duration: 40 * time.Millisecond, Variant: variant,
+	}
+	// Record out of order on purpose.
+	c.Record(child)
+	c.Record(root)
+	return tid
+}
+
+func TestCollectorAssemblesTraces(t *testing.T) {
+	c := NewCollector()
+	tid := sampleTrace(c, VariantBaseline)
+	traces := c.Traces("")
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != tid || tr.Variant != VariantBaseline || len(tr.Spans) != 2 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	// Spans sorted by start time.
+	if tr.Spans[0].Service != "frontend" {
+		t.Errorf("spans not sorted by start: %v first", tr.Spans[0].Service)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestTraceRootAndDuration(t *testing.T) {
+	c := NewCollector()
+	sampleTrace(c, VariantExperiment)
+	tr := c.Traces(VariantExperiment)[0]
+	root, ok := tr.Root()
+	if !ok || root.Service != "frontend" {
+		t.Fatalf("Root = %+v, %v", root, ok)
+	}
+	if tr.Duration() != 100*time.Millisecond {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	empty := Trace{}
+	if _, ok := empty.Root(); ok {
+		t.Error("empty trace should have no root")
+	}
+	if empty.Duration() != 0 {
+		t.Error("empty trace duration should be 0")
+	}
+}
+
+func TestVariantFiltering(t *testing.T) {
+	c := NewCollector()
+	sampleTrace(c, VariantBaseline)
+	sampleTrace(c, VariantBaseline)
+	sampleTrace(c, VariantExperiment)
+	if got := len(c.Traces(VariantBaseline)); got != 2 {
+		t.Errorf("baseline traces = %d, want 2", got)
+	}
+	if got := len(c.Traces(VariantExperiment)); got != 1 {
+		t.Errorf("experiment traces = %d, want 1", got)
+	}
+	if got := len(c.Traces("")); got != 3 {
+		t.Errorf("all traces = %d, want 3", got)
+	}
+}
+
+func TestSpanCountAndReset(t *testing.T) {
+	c := NewCollector()
+	sampleTrace(c, VariantBaseline)
+	if c.SpanCount() != 2 {
+		t.Errorf("SpanCount = %d", c.SpanCount())
+	}
+	c.Reset()
+	if c.SpanCount() != 0 || len(c.Traces("")) != 0 {
+		t.Error("Reset did not clear collector")
+	}
+}
+
+func TestNodeKey(t *testing.T) {
+	s := Span{Service: "cart", Version: "v3", Endpoint: "POST /add"}
+	k := s.Node()
+	if k.String() != "cart@v3:POST /add" {
+		t.Errorf("NodeKey.String = %q", k.String())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mk := func(spans ...Span) *Trace { return &Trace{ID: 1, Spans: spans} }
+	tests := []struct {
+		name    string
+		tr      *Trace
+		wantSub string
+	}{
+		{"empty", mk(), "no spans"},
+		{"two roots", mk(
+			Span{SpanID: 1}, Span{SpanID: 2},
+		), "2 roots"},
+		{"duplicate span id", mk(
+			Span{SpanID: 1}, Span{SpanID: 1, ParentID: 1},
+		), "duplicate"},
+		{"dangling parent", mk(
+			Span{SpanID: 1}, Span{SpanID: 2, ParentID: 99},
+		), "unknown parent"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.tr.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("Validate = %v, want containing %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	c := NewCollector()
+	sampleTrace(c, VariantBaseline)
+	tr := c.Traces("")[0]
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d spans", len(decoded))
+	}
+	// Root span has no parentId key; child does.
+	var sawParent bool
+	for _, m := range decoded {
+		if _, ok := m["parentId"]; ok {
+			sawParent = true
+		}
+		if m["kind"] != "SERVER" {
+			t.Errorf("kind = %v", m["kind"])
+		}
+	}
+	if !sawParent {
+		t.Error("child span lost its parentId in JSON")
+	}
+}
+
+func TestIDAllocationUniqueUnderConcurrency(t *testing.T) {
+	c := NewCollector()
+	const n = 1000
+	ids := make([]TraceID, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = c.NextTraceID()
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[TraceID]bool, n)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate trace id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sampleTrace(c, VariantBaseline)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.SpanCount(); got != 8*100*2 {
+		t.Errorf("SpanCount = %d, want %d", got, 8*100*2)
+	}
+	for _, tr := range c.Traces("") {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid trace after concurrent recording: %v", err)
+		}
+	}
+}

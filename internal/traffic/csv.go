@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV import/export for traffic profiles, so Fenrir can be driven by a
+// real production profile instead of the synthetic generator — the
+// paper's evaluation "applied a real world traffic profile".
+//
+// Format: a header line, then one row per slot:
+//
+//	timestamp,volume
+//	2017-12-11T00:00:00Z,48123.5
+//	2017-12-11T01:00:00Z,45010.0
+//
+// Timestamps are RFC 3339 and must be evenly spaced and increasing;
+// the spacing defines SlotLength.
+
+// WriteCSV serializes the profile.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "volume"}); err != nil {
+		return fmt.Errorf("traffic: write header: %w", err)
+	}
+	for i, v := range p.Slots {
+		row := []string{
+			p.SlotTime(i).UTC().Format(time.RFC3339),
+			strconv.FormatFloat(v, 'f', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("traffic: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a profile written by WriteCSV (or exported from a
+// monitoring system in the same shape).
+func ReadCSV(r io.Reader) (*Profile, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: read csv: %w", err)
+	}
+	if len(rows) < 3 { // header + at least two slots (spacing needs two)
+		return nil, fmt.Errorf("traffic: csv needs a header and at least two slots, got %d rows", len(rows))
+	}
+	rows = rows[1:] // drop header
+
+	p := &Profile{Slots: make([]float64, 0, len(rows))}
+	var prev time.Time
+	for i, row := range rows {
+		ts, err := time.Parse(time.RFC3339, row[0])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: row %d: bad timestamp %q: %w", i+1, row[0], err)
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: row %d: bad volume %q: %w", i+1, row[1], err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("traffic: row %d: negative volume %v", i+1, v)
+		}
+		switch i {
+		case 0:
+			p.Start = ts
+		case 1:
+			p.SlotLength = ts.Sub(prev)
+			if p.SlotLength <= 0 {
+				return nil, fmt.Errorf("traffic: timestamps not increasing at row %d", i+1)
+			}
+		default:
+			if got := ts.Sub(prev); got != p.SlotLength {
+				return nil, fmt.Errorf("traffic: uneven slot spacing at row %d: %v != %v", i+1, got, p.SlotLength)
+			}
+		}
+		prev = ts
+		p.Slots = append(p.Slots, v)
+	}
+	return p, nil
+}

@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := Generate(monday(), 2, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Start.Equal(orig.Start) {
+		t.Errorf("start = %v, want %v", back.Start, orig.Start)
+	}
+	if back.SlotLength != orig.SlotLength {
+		t.Errorf("slot length = %v, want %v", back.SlotLength, orig.SlotLength)
+	}
+	if back.NumSlots() != orig.NumSlots() {
+		t.Fatalf("slots = %d, want %d", back.NumSlots(), orig.NumSlots())
+	}
+	for i := range orig.Slots {
+		if back.Slots[i] != orig.Slots[i] {
+			t.Fatalf("slot %d = %v, want %v", i, back.Slots[i], orig.Slots[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	mk := func(rows ...string) string {
+		return "timestamp,volume\n" + strings.Join(rows, "\n") + "\n"
+	}
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"too short", "timestamp,volume\n2017-12-11T00:00:00Z,10\n", "at least two"},
+		{"bad timestamp", mk("nope,10", "2017-12-11T01:00:00Z,10"), "bad timestamp"},
+		{"bad volume", mk("2017-12-11T00:00:00Z,abc", "2017-12-11T01:00:00Z,10"), "bad volume"},
+		{"negative volume", mk("2017-12-11T00:00:00Z,-5", "2017-12-11T01:00:00Z,10"), "negative"},
+		{"not increasing", mk("2017-12-11T01:00:00Z,10", "2017-12-11T00:00:00Z,10"), "not increasing"},
+		{"uneven spacing", mk(
+			"2017-12-11T00:00:00Z,10",
+			"2017-12-11T01:00:00Z,10",
+			"2017-12-11T03:00:00Z,10"), "uneven"},
+		{"wrong columns", "timestamp,volume\na,b,c\n", "csv"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tt.src))
+			if err == nil || !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("err = %v, want containing %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestReadCSVDifferentSlotLength(t *testing.T) {
+	src := "timestamp,volume\n" +
+		"2017-12-11T00:00:00Z,100\n" +
+		"2017-12-11T00:15:00Z,110\n" +
+		"2017-12-11T00:30:00Z,120\n"
+	p, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotLength != 15*time.Minute {
+		t.Errorf("slot length = %v", p.SlotLength)
+	}
+	if p.Total() != 330 {
+		t.Errorf("total = %v", p.Total())
+	}
+}

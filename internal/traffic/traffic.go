@@ -1,0 +1,277 @@
+// Package traffic models the user-traffic profiles that drive experiment
+// scheduling (Chapter 3). A profile gives, per time slot (one hour in the
+// paper's evaluation), the number of user requests available for
+// experimentation; experiments consume fractions of a slot's traffic
+// (Fig 3.3 "Example traffic profile and traffic consumption").
+//
+// The authors used a production traffic profile; we substitute a
+// synthetic profile with the same structural features: a diurnal cycle,
+// a weekly cycle with weekend troughs, and multiplicative noise.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Profile is a sequence of per-slot traffic volumes. Slot i covers
+// [Start + i*SlotLength, Start + (i+1)*SlotLength).
+type Profile struct {
+	Start      time.Time
+	SlotLength time.Duration
+	Slots      []float64 // expected experimentable requests per slot
+}
+
+// NumSlots returns the number of slots in the profile.
+func (p *Profile) NumSlots() int { return len(p.Slots) }
+
+// Total returns the sum of traffic over all slots.
+func (p *Profile) Total() float64 {
+	var sum float64
+	for _, v := range p.Slots {
+		sum += v
+	}
+	return sum
+}
+
+// At returns the traffic volume of slot i, or 0 when i is out of range.
+func (p *Profile) At(i int) float64 {
+	if i < 0 || i >= len(p.Slots) {
+		return 0
+	}
+	return p.Slots[i]
+}
+
+// SlotTime returns the start instant of slot i.
+func (p *Profile) SlotTime(i int) time.Time {
+	return p.Start.Add(time.Duration(i) * p.SlotLength)
+}
+
+// Window returns the total traffic in slots [from, from+length).
+func (p *Profile) Window(from, length int) float64 {
+	var sum float64
+	for i := from; i < from+length && i < len(p.Slots); i++ {
+		if i >= 0 {
+			sum += p.Slots[i]
+		}
+	}
+	return sum
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	slots := make([]float64, len(p.Slots))
+	copy(slots, p.Slots)
+	return &Profile{Start: p.Start, SlotLength: p.SlotLength, Slots: slots}
+}
+
+// GeneratorConfig parameterizes the synthetic seasonal profile.
+type GeneratorConfig struct {
+	// BaseVolume is the mean traffic per slot before seasonality.
+	BaseVolume float64
+	// DiurnalAmplitude in [0,1] scales the day/night swing. 0.6 means
+	// the daily peak is ~1.6x base and the trough ~0.4x.
+	DiurnalAmplitude float64
+	// WeekendFactor in (0,1] multiplies Saturday/Sunday traffic.
+	WeekendFactor float64
+	// PeakHour is the local hour (0-23) of the diurnal maximum.
+	PeakHour int
+	// Noise is the multiplicative noise standard deviation (e.g., 0.05).
+	Noise float64
+	// Seed makes the profile reproducible.
+	Seed int64
+}
+
+// DefaultGeneratorConfig returns the configuration used throughout the
+// Chapter 3 evaluation: ~50k requests/hour base volume with a pronounced
+// afternoon peak, quieter weekends, and 5% noise.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{
+		BaseVolume:       50000,
+		DiurnalAmplitude: 0.6,
+		WeekendFactor:    0.7,
+		PeakHour:         15,
+		Noise:            0.05,
+		Seed:             1,
+	}
+}
+
+// Generate produces a profile of `days` days of hourly slots starting at
+// start (which should be midnight for the peak-hour alignment to be
+// meaningful).
+func Generate(start time.Time, days int, cfg GeneratorConfig) (*Profile, error) {
+	if days <= 0 {
+		return nil, errors.New("traffic: days must be positive")
+	}
+	if cfg.BaseVolume <= 0 {
+		return nil, errors.New("traffic: base volume must be positive")
+	}
+	if cfg.DiurnalAmplitude < 0 || cfg.DiurnalAmplitude > 1 {
+		return nil, fmt.Errorf("traffic: diurnal amplitude %v outside [0,1]", cfg.DiurnalAmplitude)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := days * 24
+	slots := make([]float64, n)
+	for i := range slots {
+		ts := start.Add(time.Duration(i) * time.Hour)
+		hour := float64(ts.Hour())
+		phase := 2 * math.Pi * (hour - float64(cfg.PeakHour)) / 24
+		diurnal := 1 + cfg.DiurnalAmplitude*math.Cos(phase)
+		weekly := 1.0
+		if wd := ts.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			weekly = cfg.WeekendFactor
+		}
+		noise := 1 + cfg.Noise*rng.NormFloat64()
+		if noise < 0.1 {
+			noise = 0.1
+		}
+		slots[i] = cfg.BaseVolume * diurnal * weekly * noise
+	}
+	return &Profile{Start: start, SlotLength: time.Hour, Slots: slots}, nil
+}
+
+// Consumption tracks, per slot, how much of the profile's traffic has been
+// allocated to experiments. It enforces the overarching constraint that
+// the summed traffic share per slot stays below a capacity ceiling, which
+// reserves the remainder as the untouched control population.
+type Consumption struct {
+	profile  *Profile
+	capacity float64 // max total share per slot, e.g. 0.8
+	used     []float64
+}
+
+// NewConsumption creates a consumption tracker over profile with the given
+// per-slot capacity ceiling in (0, 1].
+func NewConsumption(profile *Profile, capacity float64) (*Consumption, error) {
+	if capacity <= 0 || capacity > 1 {
+		return nil, fmt.Errorf("traffic: capacity %v outside (0,1]", capacity)
+	}
+	return &Consumption{
+		profile:  profile,
+		capacity: capacity,
+		used:     make([]float64, profile.NumSlots()),
+	}, nil
+}
+
+// Capacity returns the per-slot share ceiling.
+func (c *Consumption) Capacity() float64 { return c.capacity }
+
+// Used returns the share already allocated in slot i.
+func (c *Consumption) Used(i int) float64 {
+	if i < 0 || i >= len(c.used) {
+		return 0
+	}
+	return c.used[i]
+}
+
+// Free returns the share still available in slot i.
+func (c *Consumption) Free(i int) float64 {
+	if i < 0 || i >= len(c.used) {
+		return 0
+	}
+	free := c.capacity - c.used[i]
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// CanAllocate reports whether share fits into every slot of
+// [from, from+length).
+func (c *Consumption) CanAllocate(from, length int, share float64) bool {
+	if from < 0 || from+length > len(c.used) {
+		return false
+	}
+	for i := from; i < from+length; i++ {
+		if c.used[i]+share > c.capacity+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Allocate reserves share in each slot of [from, from+length), returning
+// the number of samples (requests) the allocation yields. It fails without
+// side effects if any slot would exceed capacity.
+func (c *Consumption) Allocate(from, length int, share float64) (float64, error) {
+	if share < 0 {
+		return 0, errors.New("traffic: negative share")
+	}
+	if !c.CanAllocate(from, length, share) {
+		return 0, fmt.Errorf("traffic: allocation of %.3f in slots [%d,%d) exceeds capacity %.3f",
+			share, from, from+length, c.capacity)
+	}
+	var samples float64
+	for i := from; i < from+length; i++ {
+		c.used[i] += share
+		samples += share * c.profile.Slots[i]
+	}
+	return samples, nil
+}
+
+// Release returns share to each slot of [from, from+length). Shares are
+// clamped at zero to stay safe under double releases.
+func (c *Consumption) Release(from, length int, share float64) {
+	for i := from; i < from+length && i < len(c.used); i++ {
+		if i < 0 {
+			continue
+		}
+		c.used[i] -= share
+		if c.used[i] < 0 {
+			c.used[i] = 0
+		}
+	}
+}
+
+// Reset clears all allocations.
+func (c *Consumption) Reset() {
+	for i := range c.used {
+		c.used[i] = 0
+	}
+}
+
+// Sparkline renders the profile as a unicode sparkline, `width` slots wide
+// (downsampled by averaging), for the textual reproduction of Fig 3.3.
+func (p *Profile) Sparkline(width int) string {
+	if width <= 0 || len(p.Slots) == 0 {
+		return ""
+	}
+	if width > len(p.Slots) {
+		width = len(p.Slots)
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	bucket := float64(len(p.Slots)) / float64(width)
+	vals := make([]float64, width)
+	var maxV float64
+	for i := 0; i < width; i++ {
+		lo := int(float64(i) * bucket)
+		hi := int(float64(i+1) * bucket)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(p.Slots) {
+			hi = len(p.Slots)
+		}
+		var sum float64
+		for j := lo; j < hi; j++ {
+			sum += p.Slots[j]
+		}
+		vals[i] = sum / float64(hi-lo)
+		if vals[i] > maxV {
+			maxV = vals[i]
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func monday() time.Time {
+	return time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC) // a Monday
+}
+
+func TestGenerateBasics(t *testing.T) {
+	p, err := Generate(monday(), 14, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.NumSlots(), 14*24; got != want {
+		t.Fatalf("NumSlots = %d, want %d", got, want)
+	}
+	for i, v := range p.Slots {
+		if v <= 0 {
+			t.Fatalf("slot %d non-positive: %v", i, v)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	if _, err := Generate(monday(), 0, cfg); err == nil {
+		t.Error("expected error for 0 days")
+	}
+	cfg.BaseVolume = -1
+	if _, err := Generate(monday(), 7, cfg); err == nil {
+		t.Error("expected error for negative base volume")
+	}
+	cfg = DefaultGeneratorConfig()
+	cfg.DiurnalAmplitude = 1.5
+	if _, err := Generate(monday(), 7, cfg); err == nil {
+		t.Error("expected error for amplitude > 1")
+	}
+}
+
+func TestGenerateDiurnalShape(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Noise = 0
+	p, err := Generate(monday(), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak hour should carry more traffic than 3am.
+	if p.Slots[cfg.PeakHour] <= p.Slots[3] {
+		t.Errorf("peak hour %v not above trough %v", p.Slots[cfg.PeakHour], p.Slots[3])
+	}
+}
+
+func TestGenerateWeekendTrough(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Noise = 0
+	p, err := Generate(monday(), 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the same hour on Monday (day 0) and Saturday (day 5).
+	mondayNoon := p.Slots[12]
+	saturdayNoon := p.Slots[5*24+12]
+	ratio := saturdayNoon / mondayNoon
+	if math.Abs(ratio-cfg.WeekendFactor) > 0.01 {
+		t.Errorf("weekend ratio = %v, want %v", ratio, cfg.WeekendFactor)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	p1, _ := Generate(monday(), 3, cfg)
+	p2, _ := Generate(monday(), 3, cfg)
+	for i := range p1.Slots {
+		if p1.Slots[i] != p2.Slots[i] {
+			t.Fatal("same seed must produce identical profiles")
+		}
+	}
+	cfg.Seed = 2
+	p3, _ := Generate(monday(), 3, cfg)
+	same := true
+	for i := range p1.Slots {
+		if p1.Slots[i] != p3.Slots[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical profiles")
+	}
+}
+
+func TestProfileAccessors(t *testing.T) {
+	p := &Profile{Start: monday(), SlotLength: time.Hour, Slots: []float64{10, 20, 30}}
+	if p.Total() != 60 {
+		t.Errorf("Total = %v", p.Total())
+	}
+	if p.At(1) != 20 || p.At(-1) != 0 || p.At(5) != 0 {
+		t.Error("At out-of-range handling wrong")
+	}
+	if got := p.SlotTime(2); !got.Equal(monday().Add(2 * time.Hour)) {
+		t.Errorf("SlotTime(2) = %v", got)
+	}
+	if p.Window(1, 2) != 50 {
+		t.Errorf("Window(1,2) = %v", p.Window(1, 2))
+	}
+	if p.Window(2, 10) != 30 {
+		t.Errorf("Window clamps at end: %v", p.Window(2, 10))
+	}
+	c := p.Clone()
+	c.Slots[0] = 999
+	if p.Slots[0] == 999 {
+		t.Error("Clone aliases slots")
+	}
+}
+
+func TestConsumptionAllocateRelease(t *testing.T) {
+	p := &Profile{Start: monday(), SlotLength: time.Hour, Slots: []float64{100, 100, 100, 100}}
+	c, err := NewConsumption(p, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := c.Allocate(0, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples != 100 { // 0.5 * 100 * 2 slots
+		t.Errorf("samples = %v, want 100", samples)
+	}
+	if c.Used(0) != 0.5 || math.Abs(c.Free(0)-0.3) > 1e-9 {
+		t.Errorf("Used/Free wrong: %v / %v", c.Used(0), c.Free(0))
+	}
+	// Second allocation exceeding capacity fails atomically.
+	if _, err := c.Allocate(1, 2, 0.5); err == nil {
+		t.Fatal("expected capacity error")
+	}
+	if c.Used(2) != 0 {
+		t.Error("failed allocation must not leave partial state")
+	}
+	// Fits in remaining capacity.
+	if _, err := c.Allocate(0, 4, 0.3); err != nil {
+		t.Fatalf("allocation within capacity failed: %v", err)
+	}
+	c.Release(0, 2, 0.5)
+	if math.Abs(c.Used(0)-0.3) > 1e-9 {
+		t.Errorf("Used(0) after release = %v, want 0.3", c.Used(0))
+	}
+	c.Reset()
+	if c.Used(0) != 0 || c.Used(3) != 0 {
+		t.Error("Reset did not clear usage")
+	}
+}
+
+func TestConsumptionBounds(t *testing.T) {
+	p := &Profile{Slots: []float64{100, 100}}
+	c, _ := NewConsumption(p, 1.0)
+	if c.CanAllocate(-1, 1, 0.1) {
+		t.Error("negative from should not be allocatable")
+	}
+	if c.CanAllocate(1, 2, 0.1) {
+		t.Error("allocation past end should fail")
+	}
+	if _, err := c.Allocate(0, 1, -0.1); err == nil {
+		t.Error("negative share should error")
+	}
+	if c.Used(-1) != 0 || c.Free(99) != 0 {
+		t.Error("out-of-range Used/Free should be 0")
+	}
+}
+
+func TestNewConsumptionValidation(t *testing.T) {
+	p := &Profile{Slots: []float64{1}}
+	if _, err := NewConsumption(p, 0); err == nil {
+		t.Error("capacity 0 should error")
+	}
+	if _, err := NewConsumption(p, 1.1); err == nil {
+		t.Error("capacity > 1 should error")
+	}
+}
+
+func TestConsumptionNeverExceedsCapacityProperty(t *testing.T) {
+	p, err := Generate(monday(), 2, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ops []struct {
+		From, Length uint8
+		Share        float64
+	}) bool {
+		c, err := NewConsumption(p, 0.8)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			share := math.Mod(math.Abs(op.Share), 1)
+			// Ignore the error; failed allocations must be side-effect free.
+			_, _ = c.Allocate(int(op.From), int(op.Length)%8, share)
+		}
+		for i := 0; i < p.NumSlots(); i++ {
+			if c.Used(i) > 0.8+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	p := &Profile{Slots: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	s := p.Sparkline(4)
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline width = %d, want 4", len([]rune(s)))
+	}
+	if p.Sparkline(0) != "" {
+		t.Error("zero width should return empty string")
+	}
+	// Wider than slots clamps.
+	if got := len([]rune(p.Sparkline(100))); got != 8 {
+		t.Errorf("clamped width = %d, want 8", got)
+	}
+}
