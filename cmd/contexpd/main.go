@@ -1,0 +1,171 @@
+// Command contexpd is the continuous-experimentation control plane: a
+// long-running daemon that accepts experimentation-as-code strategies
+// over HTTP, enacts them with the Bifrost engine against the shared
+// routing table, and reports runs, routes, and component health.
+//
+// Usage:
+//
+//	contexpd [flags]
+//
+//	--addr :8080             listen address
+//	--check-interval 5s      default check interval for strategies
+//	--demo                   boot the simulated shop and drive traffic
+//	--demo-rps 25            demo request rate
+//	--demo-latency-scale 0.1 demo latency compression factor
+//	--demo-population 500    demo user population size
+//	--demo-seed 1            demo determinism seed
+//	--demo-enact             auto-submit the demo canary→rollout strategy
+//
+// With --demo the daemon is a self-contained system: the microservice
+// shop runs as real HTTP servers behind per-service routing proxies, a
+// load generator plays the user population, and (unless --demo-enact
+// is disabled) a canary → gradual-rollout strategy is enacted so phase
+// transitions are immediately observable:
+//
+//	go run ./cmd/contexpd --demo
+//	curl localhost:8080/v1/runs
+//	curl -N localhost:8080/v1/runs/demo-canary-rollout/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"contexp/internal/bifrost"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+	"contexp/internal/server"
+)
+
+type options struct {
+	addr          string
+	checkInterval time.Duration
+	demo          bool
+	demoRPS       float64
+	demoScale     float64
+	demoPop       int
+	demoSeed      int64
+	demoEnact     bool
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("contexpd", flag.ContinueOnError)
+	opt := &options{}
+	fs.StringVar(&opt.addr, "addr", ":8080", "listen address")
+	fs.DurationVar(&opt.checkInterval, "check-interval", 5*time.Second,
+		"default interval for checks that do not declare one")
+	fs.BoolVar(&opt.demo, "demo", false,
+		"boot the simulated shop behind routing proxies and drive traffic")
+	fs.Float64Var(&opt.demoRPS, "demo-rps", 25, "demo request rate (requests/second)")
+	fs.Float64Var(&opt.demoScale, "demo-latency-scale", 0.1,
+		"demo latency compression (0.1 runs a 20ms endpoint in 2ms)")
+	fs.IntVar(&opt.demoPop, "demo-population", 500, "demo user population size")
+	fs.Int64Var(&opt.demoSeed, "demo-seed", 1, "demo determinism seed")
+	fs.BoolVar(&opt.demoEnact, "demo-enact", true,
+		"with --demo, auto-submit the demo canary→rollout strategy")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if opt.checkInterval <= 0 {
+		return nil, errors.New("--check-interval must be positive")
+	}
+	return opt, nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "contexpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	opt, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	engine, err := bifrost.NewEngine(bifrost.Config{
+		Table:                table,
+		Store:                store,
+		DefaultCheckInterval: opt.checkInterval,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{Engine: engine, Table: table, Store: store})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if opt.demo {
+		demo, err := server.StartDemo(engine, table, store, server.DemoConfig{
+			RPS:            opt.demoRPS,
+			LatencyScale:   opt.demoScale,
+			PopulationSize: opt.demoPop,
+			Seed:           opt.demoSeed,
+			Enact:          opt.demoEnact,
+		})
+		if err != nil {
+			return err
+		}
+		defer demo.Stop()
+		srv.SetDemo(demo)
+		fmt.Printf("demo: shop entry at %s, %.0f rps, latency scale %g\n",
+			demo.EntryURL(), opt.demoRPS, opt.demoScale)
+		if opt.demoEnact {
+			fmt.Println("demo: enacted strategy \"demo-canary-rollout\" (canary → gradual rollout)")
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:    opt.addr,
+		Handler: srv.Handler(),
+		// Derive request contexts from the signal context so long-lived
+		// SSE streams end on shutdown instead of stalling Shutdown.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("contexpd listening on %s\n", opt.addr)
+		fmt.Printf("  curl %s/healthz\n", curlHost(opt.addr))
+		fmt.Printf("  curl %s/v1/runs\n", curlHost(opt.addr))
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("contexpd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutCtx)
+}
+
+// curlHost renders a listen address as something curl accepts.
+func curlHost(addr string) string {
+	if len(addr) > 0 && addr[0] == ':' {
+		return "localhost" + addr
+	}
+	return addr
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	t.Run("defaults", func(t *testing.T) {
+		opt, err := parseFlags(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.addr != ":8080" || opt.demo || !opt.demoEnact {
+			t.Errorf("defaults = %+v", opt)
+		}
+		if opt.checkInterval != 5*time.Second {
+			t.Errorf("check interval = %v", opt.checkInterval)
+		}
+	})
+
+	t.Run("demo flags", func(t *testing.T) {
+		opt, err := parseFlags([]string{
+			"--addr", "127.0.0.1:9999", "--demo",
+			"--demo-rps", "50", "--demo-latency-scale", "0.05",
+			"--demo-population", "100", "--demo-seed", "9",
+			"--demo-enact=false", "--check-interval", "1s",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.demo || opt.demoEnact || opt.demoRPS != 50 ||
+			opt.demoScale != 0.05 || opt.demoPop != 100 || opt.demoSeed != 9 {
+			t.Errorf("opt = %+v", opt)
+		}
+		if opt.addr != "127.0.0.1:9999" || opt.checkInterval != time.Second {
+			t.Errorf("opt = %+v", opt)
+		}
+	})
+
+	t.Run("unknown flag", func(t *testing.T) {
+		if _, err := parseFlags([]string{"--wibble"}); err == nil {
+			t.Error("expected error for unknown flag")
+		}
+	})
+
+	t.Run("positional arguments rejected", func(t *testing.T) {
+		_, err := parseFlags([]string{"serve"})
+		if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+			t.Errorf("err = %v", err)
+		}
+	})
+
+	t.Run("nonpositive check interval rejected", func(t *testing.T) {
+		if _, err := parseFlags([]string{"--check-interval", "0s"}); err == nil {
+			t.Error("expected error for zero check interval")
+		}
+	})
+}
+
+func TestCurlHost(t *testing.T) {
+	if got := curlHost(":8080"); got != "localhost:8080" {
+		t.Errorf("curlHost(:8080) = %q", got)
+	}
+	if got := curlHost("10.0.0.1:80"); got != "10.0.0.1:80" {
+		t.Errorf("curlHost(10.0.0.1:80) = %q", got)
+	}
+}

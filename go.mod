@@ -1,0 +1,3 @@
+module contexp
+
+go 1.24

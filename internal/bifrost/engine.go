@@ -216,6 +216,13 @@ func (e *Engine) Metrics() EngineMetrics {
 	}
 }
 
+// EvalStats returns the evaluation count and cumulative evaluation
+// time without copying the delay samples — the cheap read for health
+// surfaces that poll frequently.
+func (e *Engine) EvalStats() (evaluations int64, busy time.Duration) {
+	return e.evalCount.Load(), time.Duration(e.evalBusy.Load())
+}
+
 // ResetMetrics clears the instrumentation counters.
 func (e *Engine) ResetMetrics() {
 	e.evalBusy.Store(0)

@@ -8,7 +8,27 @@
 // buffer and answers windowed aggregate queries: mean, percentiles, rate,
 // count, min, max. A scope identifies which deployment produced the
 // observation — typically service + version, optionally an experiment
-// variant tag.
+// variant tag (dark-launch mirrors record under the "dark" variant so
+// their telemetry never mixes with user-facing traffic):
+//
+//	store := metrics.NewStore(0)
+//	scope := metrics.Scope{Service: "recommendation", Version: "v2"}
+//	store.Record("response_time", scope, time.Now(), 41.3)
+//	p95, err := store.Query("response_time", scope,
+//	    time.Now().Add(-30*time.Second), metrics.AggP95)
+//
+// Query semantics Bifrost depends on: a window with no observations
+// (or a series that was never written) returns ErrNoData, which the
+// engine maps to an inconclusive check outcome rather than a pass or
+// fail — absence of evidence never trips a rollback. Count, sum, and
+// rate over an existing-but-empty window return 0 instead, since
+// "nothing happened" is a real answer for those.
+//
+// All operations are safe for concurrent use; writers contend only on
+// their own series. The per-series ring (DefaultSeriesCapacity) bounds
+// memory, evicting oldest-first, and holds several minutes of history
+// at the paper's request rates — longer than any check window used in
+// the evaluations.
 package metrics
 
 import (

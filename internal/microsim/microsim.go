@@ -6,10 +6,26 @@
 // resolving versions through a router.Table, emitting spans into a
 // tracing.Collector and observations into a metrics.Store.
 //
-// The in-process mode is deterministic (seeded) and fast enough to drive
-// the paper's evaluations at full scale; package microsim/httpapp builds
-// the same topology as real net/http servers for the overhead
-// measurements of Section 4.5.1.
+// Two execution modes share one topology:
+//
+//   - Sim runs requests in-process on a virtual clock: deterministic
+//     (seeded), no I/O, fast enough to drive the paper's evaluations at
+//     full scale in milliseconds of wall time.
+//   - HTTPApplication (StartHTTP) deploys the same Application as real
+//     net/http servers on loopback — one backend per service version
+//     behind one router.Proxy per service — for the wire-level overhead
+//     measurements of Section 4.5.1 and for contexpd's demo mode.
+//     Endpoint latencies are slept for real (scaled by LatencyScale),
+//     and each backend self-reports response_time/requests/errors
+//     telemetry into the store, exactly like an instrumented service.
+//
+// In both modes every hop resolves its callee version through the
+// routing table, so a Bifrost strategy rerouting traffic mid-run
+// affects the whole call tree, sticky per user. ShopApplication builds
+// the ten-service case-study shop (with the two-version recommendation
+// service whose release drives the running example);
+// InstallBaselineRoutes points every service at its stable version as
+// a starting state.
 package microsim
 
 import (

@@ -7,7 +7,34 @@
 // A Table maps each service to a Route: an ordered list of match rules
 // (user group / header equality), a weighted split across versions with
 // sticky per-user assignment, and a set of mirror versions that receive
-// duplicated traffic for dark launches.
+// duplicated traffic for dark launches. Resolution order is rules
+// first (first match wins), then the weighted split; the split hashes
+// (user, service, salt) so a user keeps their assigned version for the
+// whole experiment, and bumping Route.StickySalt reshuffles users
+// between consecutive experiments.
+//
+// The table is the single source of truth shared by every consumer:
+// the Bifrost engine mutates it as phases advance (Set, SetWeights,
+// SetMirrors), in-process simulations resolve against it directly
+// (Resolve), and Proxy exposes it at the wire level — one lightweight
+// reverse proxy per service, the sidecar idiom of Section 4.4, reading
+// routing identity from the X-User-ID and X-User-Groups headers and
+// duplicating dark-launch traffic to mirror versions off the request
+// path.
+//
+// Typical wiring:
+//
+//	table := router.NewTable()
+//	_ = table.Set(router.Route{
+//	    Service:  "recommendation",
+//	    Backends: []router.Backend{{Version: "v1", Weight: 1}},
+//	})
+//	proxy := router.NewProxy("recommendation", table)
+//	_ = proxy.RegisterUpstream("v1", "http://127.0.0.1:9001")
+//	// http.ListenAndServe(addr, proxy)
+//
+// Experiments then shift traffic by mutating the table; in-flight
+// proxies pick the change up on the next request.
 package router
 
 import (

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"contexp/internal/bifrost"
+	"contexp/internal/expmodel"
+	"contexp/internal/loadgen"
+	"contexp/internal/metrics"
+	"contexp/internal/microsim"
+	"contexp/internal/router"
+)
+
+// DemoStrategyDSL is the canary → gradual-rollout strategy the demo
+// enacts against the simulated shop: release recommendation v2 (the
+// personalized recommender) to 10% of users, and if its tail latency
+// holds, roll it out to everyone in three steps. The durations are
+// demo-scale (a run completes in under a minute) so phase transitions
+// are watchable with curl.
+const DemoStrategyDSL = `
+# Release the personalized recommender (v2) to everyone, carefully.
+strategy "demo-canary-rollout" {
+    service   = "recommendation"
+    baseline  = "v1"
+    candidate = "v2"
+
+    phase "canary" {
+        practice    = canary
+        traffic     = 10%
+        duration    = 20s
+        min-samples = 20
+        check "latency" {
+            metric    = response_time
+            aggregate = p95
+            max       = 250
+            window    = 20s
+            interval  = 5s
+        }
+        on success      -> phase "rollout"
+        on failure      -> rollback
+        on inconclusive -> retry
+        max-retries = 2
+    }
+
+    phase "rollout" {
+        practice      = gradual-rollout
+        steps         = 25%, 50%, 100%
+        step-duration = 10s
+        check "latency" {
+            metric    = response_time
+            aggregate = p95
+            max       = 250
+            window    = 10s
+            interval  = 5s
+        }
+        on success -> promote
+        on failure -> rollback
+    }
+}
+`
+
+// DemoConfig parameterizes StartDemo.
+type DemoConfig struct {
+	// RPS is the mean request rate of the synthetic user population
+	// (default 25).
+	RPS float64
+	// LatencyScale compresses the simulated endpoint latencies so the
+	// demo is light on CPU (default 0.1: a 20 ms endpoint takes 2 ms).
+	LatencyScale float64
+	// PopulationSize is the number of distinct users (default 500).
+	PopulationSize int
+	// Seed fixes population, latencies, and arrivals.
+	Seed int64
+	// StrategyDSL overrides DemoStrategyDSL.
+	StrategyDSL string
+	// Enact, when true, submits the demo strategy immediately.
+	Enact bool
+}
+
+// Demo is a running demo environment: the simulated shop deployed as
+// real HTTP servers behind per-service router.Proxy instances, plus a
+// load generator playing the user population against the entry proxy.
+type Demo struct {
+	app      *microsim.HTTPApplication
+	topology *microsim.Application
+	entryURL string
+
+	requests        atomic.Int64
+	transportErrors atomic.Int64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// StartDemo boots the demo environment onto the given table and store
+// (the same ones the engine and server use, so experiments reroute the
+// demo's live traffic) and starts the load driver. Stop() releases
+// everything.
+func StartDemo(engine *bifrost.Engine, table *router.Table, store *metrics.Store, cfg DemoConfig) (*Demo, error) {
+	if cfg.RPS <= 0 {
+		cfg.RPS = 25
+	}
+	if cfg.LatencyScale <= 0 {
+		cfg.LatencyScale = 0.1
+	}
+	if cfg.PopulationSize <= 0 {
+		cfg.PopulationSize = 500
+	}
+	if cfg.StrategyDSL == "" {
+		cfg.StrategyDSL = DemoStrategyDSL
+	}
+
+	app, err := microsim.ShopApplication()
+	if err != nil {
+		return nil, fmt.Errorf("server: building shop application: %w", err)
+	}
+	if err := microsim.InstallBaselineRoutes(app, table); err != nil {
+		return nil, fmt.Errorf("server: installing baseline routes: %w", err)
+	}
+	httpApp, err := microsim.StartHTTP(app, table, store, microsim.HTTPConfig{
+		LatencyScale: cfg.LatencyScale,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: starting shop servers: %w", err)
+	}
+
+	pop, err := loadgen.NewPopulation(loadgen.PopulationConfig{
+		Size: cfg.PopulationSize,
+		Groups: map[expmodel.UserGroup]float64{
+			"beta":  0.10,
+			"staff": 0.02,
+		},
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		httpApp.Close()
+		return nil, fmt.Errorf("server: building population: %w", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Demo{
+		app:      httpApp,
+		topology: app,
+		entryURL: httpApp.EntryURL(),
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	go d.drive(ctx, pop, cfg)
+
+	if cfg.Enact {
+		strategy, err := bifrost.ParseStrategy(cfg.StrategyDSL)
+		if err != nil {
+			d.Stop()
+			return nil, fmt.Errorf("server: parsing demo strategy: %w", err)
+		}
+		if _, err := engine.Launch(strategy); err != nil {
+			d.Stop()
+			return nil, fmt.Errorf("server: launching demo strategy: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// drive plays the user population against the entry proxy at wall-clock
+// pace until the context is canceled. loadgen generates the arrival
+// process; the Target paces each request to its arrival instant and
+// issues it over real HTTP, so every hop flows through the proxies and
+// is subject to experiment routing.
+func (d *Demo) drive(ctx context.Context, pop *loadgen.Population, cfg DemoConfig) {
+	defer close(d.done)
+	client := &http.Client{Timeout: 10 * time.Second}
+	target := loadgen.TargetFunc(func(req *router.Request, at time.Time) (time.Duration, bool, error) {
+		if wait := time.Until(at); wait > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, false, ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		if ctx.Err() != nil {
+			return 0, false, ctx.Err()
+		}
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, d.entryURL, nil)
+		if err != nil {
+			return 0, false, err
+		}
+		httpReq.Header.Set("X-User-ID", req.UserID)
+		if len(req.Groups) > 0 {
+			groups := ""
+			for i, g := range req.Groups {
+				if i > 0 {
+					groups += ","
+				}
+				groups += string(g)
+			}
+			httpReq.Header.Set("X-User-Groups", groups)
+		}
+		start := time.Now()
+		resp, err := client.Do(httpReq)
+		if err != nil {
+			d.transportErrors.Add(1)
+			return 0, false, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		d.requests.Add(1)
+		return time.Since(start), resp.StatusCode >= 500, nil
+	})
+
+	// Run the generator in short chunks so cancellation is prompt and
+	// the arrival process re-anchors to the wall clock (a slow chunk
+	// does not accumulate lag).
+	seed := cfg.Seed
+	for ctx.Err() == nil {
+		_, _ = loadgen.Run(loadgen.Config{
+			RPS:      cfg.RPS,
+			Duration: 2 * time.Second,
+			Start:    time.Now(),
+			Seed:     seed,
+		}, pop, target)
+		seed++
+	}
+}
+
+// EntryURL returns the URL load is driven against (the entry service's
+// proxy).
+func (d *Demo) EntryURL() string { return d.entryURL }
+
+// Stop cancels the load driver and shuts the simulated shop down.
+func (d *Demo) Stop() {
+	d.cancel()
+	<-d.done
+	d.app.Close()
+}
+
+// DemoHealth is the /healthz view of the demo environment.
+type DemoHealth struct {
+	Services        []string `json:"services"`
+	EntryURL        string   `json:"entryURL"`
+	RequestsServed  int64    `json:"requestsServed"`
+	TransportErrors int64    `json:"transportErrors"`
+}
+
+// Health reports the demo's state.
+func (d *Demo) Health() *DemoHealth {
+	return &DemoHealth{
+		Services:        d.topology.Services(),
+		EntryURL:        d.entryURL,
+		RequestsServed:  d.requests.Load(),
+		TransportErrors: d.transportErrors.Load(),
+	}
+}

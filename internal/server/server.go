@@ -1,0 +1,399 @@
+// Package server is the HTTP control plane of the framework: the
+// middleware face of Bifrost. Where the library packages execute
+// strategies in-process, this package turns them into a long-running
+// service — the deployment model of the paper's Section 4.4, where
+// strategies written in the experimentation-as-code DSL are submitted
+// to a daemon that enacts them against live traffic.
+//
+// The API surface:
+//
+//	POST   /v1/strategies          submit a DSL strategy; starts a run
+//	GET    /v1/runs                list runs (live and finished)
+//	GET    /v1/runs/{name}         inspect one run, including its events
+//	DELETE /v1/runs/{name}         abort a live run
+//	GET    /v1/runs/{name}/events  stream run events as server-sent events
+//	POST   /v1/metrics             ingest metric observations
+//	GET    /v1/routes              dump the routing table
+//	GET    /healthz                self-reported component health
+//
+// A Server owns no goroutines of its own beyond the ones net/http
+// starts per request; the Bifrost engine drives runs, and the optional
+// Demo (see demo.go) drives simulated traffic.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"contexp/internal/bifrost"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine executes submitted strategies (required).
+	Engine *bifrost.Engine
+	// Table is the routing table the engine manipulates (required).
+	Table *router.Table
+	// Store is the metric store checks query and /v1/metrics feeds
+	// (required).
+	Store *metrics.Store
+	// EventPollInterval is how often the SSE endpoint re-reads a run's
+	// event log (default 250ms).
+	EventPollInterval time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server serves the control-plane API.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	// demo, when set, is reported by /healthz and drives traffic.
+	demo *Demo
+}
+
+// New creates a Server. The caller mounts Handler() on an http.Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil || cfg.Table == nil || cfg.Store == nil {
+		return nil, errors.New("server: engine, table, and store are required")
+	}
+	if cfg.EventPollInterval <= 0 {
+		cfg.EventPollInterval = 250 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/strategies", s.handleSubmitStrategy)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /v1/runs/{name}", s.handleGetRun)
+	s.mux.HandleFunc("DELETE /v1/runs/{name}", s.handleAbortRun)
+	s.mux.HandleFunc("GET /v1/runs/{name}/events", s.handleRunEvents)
+	s.mux.HandleFunc("POST /v1/metrics", s.handleIngestMetrics)
+	s.mux.HandleFunc("GET /v1/routes", s.handleRoutes)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDemo attaches a running demo so /healthz can report it.
+func (s *Server) SetDemo(d *Demo) { s.demo = d }
+
+// --- JSON views ---
+
+// RunSummary is the list/inspect view of a run.
+type RunSummary struct {
+	Name      string   `json:"name"`
+	Service   string   `json:"service"`
+	Baseline  string   `json:"baseline"`
+	Candidate string   `json:"candidate"`
+	Status    string   `json:"status"`
+	Phase     string   `json:"phase,omitempty"`
+	Phases    []string `json:"phases"`
+	Events    int      `json:"events"`
+}
+
+// RunDetail adds the audit trail and the rendered state machine.
+type RunDetail struct {
+	RunSummary
+	EventLog     []EventView `json:"eventLog"`
+	StateMachine string      `json:"stateMachine"`
+}
+
+// EventView is the JSON form of one bifrost.Event.
+type EventView struct {
+	At      time.Time `json:"at"`
+	Type    string    `json:"type"`
+	Phase   string    `json:"phase,omitempty"`
+	Check   string    `json:"check,omitempty"`
+	Outcome string    `json:"outcome,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+func eventView(ev bifrost.Event) EventView {
+	v := EventView{
+		At:     ev.At,
+		Type:   string(ev.Type),
+		Phase:  ev.Phase,
+		Check:  ev.Check,
+		Detail: ev.Detail,
+	}
+	if ev.Outcome != 0 {
+		v.Outcome = ev.Outcome.String()
+	}
+	return v
+}
+
+func runSummary(r *bifrost.Run) RunSummary {
+	st := r.Strategy()
+	phases := make([]string, len(st.Phases))
+	for i := range st.Phases {
+		phases[i] = st.Phases[i].Name
+	}
+	return RunSummary{
+		Name:      st.Name,
+		Service:   st.Service,
+		Baseline:  st.Baseline,
+		Candidate: st.Candidate,
+		Status:    r.Status().String(),
+		Phase:     r.CurrentPhase(),
+		Phases:    phases,
+		Events:    len(r.Events()),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+// handleSubmitStrategy accepts a DSL strategy as the request body,
+// validates it, and launches a run.
+func (s *Server) handleSubmitStrategy(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"strategy larger than %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	strategy, err := bifrost.ParseStrategy(string(src))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	run, err := s.cfg.Engine.Launch(strategy)
+	if err != nil {
+		// The strategy already parsed and validated, so Launch can only
+		// fail on a live-run name collision (checked under the engine
+		// lock) or a routing-table rejection.
+		if strings.Contains(err.Error(), "already running") {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+strategy.Name)
+	writeJSON(w, http.StatusCreated, runSummary(run))
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	runs := s.cfg.Engine.Runs()
+	out := make([]RunSummary, 0, len(runs))
+	for _, run := range runs {
+		out = append(out, runSummary(run))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.cfg.Engine.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run named %q", r.PathValue("name"))
+		return
+	}
+	events := run.Events()
+	detail := RunDetail{
+		RunSummary:   runSummary(run),
+		EventLog:     make([]EventView, len(events)),
+		StateMachine: run.Strategy().StateMachine(),
+	}
+	for i, ev := range events {
+		detail.EventLog[i] = eventView(ev)
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// handleAbortRun cancels a live run. Aborting a finished run (including
+// a second abort of the same run) is a conflict.
+func (s *Server) handleAbortRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.cfg.Engine.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run named %q", r.PathValue("name"))
+		return
+	}
+	if st := run.Status(); st != bifrost.StatusRunning {
+		writeError(w, http.StatusConflict, "run %q already finished: %s", r.PathValue("name"), st)
+		return
+	}
+	run.Abort()
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"name":   r.PathValue("name"),
+		"status": "aborting",
+	})
+}
+
+// Observation is one ingested metric sample. At defaults to the server's
+// current time, matching what a self-reporting backend would stamp.
+type Observation struct {
+	Metric  string    `json:"metric"`
+	Service string    `json:"service"`
+	Version string    `json:"version"`
+	Variant string    `json:"variant,omitempty"`
+	Value   float64   `json:"value"`
+	At      time.Time `json:"at,omitzero"`
+}
+
+// handleIngestMetrics records a batch of observations, the ingestion
+// path real services use in place of the simulator's self-reporting.
+func (s *Server) handleIngestMetrics(w http.ResponseWriter, r *http.Request) {
+	var batch struct {
+		Observations []Observation `json:"observations"`
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&batch); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch larger than %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(batch.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	for i, o := range batch.Observations {
+		if o.Metric == "" || o.Service == "" || o.Version == "" {
+			writeError(w, http.StatusBadRequest,
+				"observation %d: metric, service, and version are required", i)
+			return
+		}
+	}
+	now := time.Now()
+	for _, o := range batch.Observations {
+		at := o.At
+		if at.IsZero() {
+			at = now
+		}
+		scope := metrics.Scope{Service: o.Service, Version: o.Version, Variant: o.Variant}
+		s.cfg.Store.Record(o.Metric, scope, at, o.Value)
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(batch.Observations)})
+}
+
+// RouteView is the JSON form of one service's route.
+type RouteView struct {
+	Rules      []RuleView    `json:"rules,omitempty"`
+	Backends   []BackendView `json:"backends"`
+	Mirrors    []string      `json:"mirrors,omitempty"`
+	StickySalt string        `json:"stickySalt,omitempty"`
+}
+
+// RuleView is the JSON form of one routing rule.
+type RuleView struct {
+	Name    string `json:"name"`
+	Match   string `json:"match"`
+	Version string `json:"version"`
+}
+
+// BackendView is one arm of a weighted split.
+type BackendView struct {
+	Version string  `json:"version"`
+	Weight  float64 `json:"weight"`
+}
+
+func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
+	services := s.cfg.Table.Services()
+	view := make(map[string]RouteView, len(services))
+	for _, svc := range services {
+		route, err := s.cfg.Table.Route(svc)
+		if err != nil {
+			continue // removed between Services() and Route()
+		}
+		rv := RouteView{StickySalt: route.StickySalt, Mirrors: route.Mirrors}
+		for _, rule := range route.Rules {
+			rv.Rules = append(rv.Rules, RuleView{Name: rule.Name, Match: rule.Match.String(), Version: rule.Version})
+		}
+		for _, b := range route.Backends {
+			rv.Backends = append(rv.Backends, BackendView{Version: b.Version, Weight: b.Weight})
+		}
+		view[svc] = rv
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tableVersion": s.cfg.Table.Version(),
+		"services":     view,
+	})
+}
+
+// Health is the self-reported state of every component, following the
+// pattern of health endpoints that expose per-component detail rather
+// than a bare status code.
+type Health struct {
+	Status string       `json:"status"`
+	Uptime string       `json:"uptime"`
+	Engine EngineHealth `json:"engine"`
+	Store  StoreHealth  `json:"store"`
+	Router RouterHealth `json:"router"`
+	Demo   *DemoHealth  `json:"demo,omitempty"`
+}
+
+// EngineHealth reports the Bifrost engine.
+type EngineHealth struct {
+	RunsByStatus map[string]int `json:"runsByStatus"`
+	Evaluations  int64          `json:"evaluations"`
+	BusyTime     string         `json:"busyTime"`
+}
+
+// StoreHealth reports the metric store.
+type StoreHealth struct {
+	Series int `json:"series"`
+}
+
+// RouterHealth reports the routing table.
+type RouterHealth struct {
+	Services     []string `json:"services"`
+	TableVersion uint64   `json:"tableVersion"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	byStatus := make(map[string]int)
+	for _, run := range s.cfg.Engine.Runs() {
+		byStatus[run.Status().String()]++
+	}
+	evals, busy := s.cfg.Engine.EvalStats()
+	h := Health{
+		Status: "ok",
+		Uptime: time.Since(s.start).Round(time.Millisecond).String(),
+		Engine: EngineHealth{
+			RunsByStatus: byStatus,
+			Evaluations:  evals,
+			BusyTime:     busy.Round(time.Microsecond).String(),
+		},
+		Store:  StoreHealth{Series: s.cfg.Store.SeriesCount()},
+		Router: RouterHealth{Services: s.cfg.Table.Services(), TableVersion: s.cfg.Table.Version()},
+	}
+	if s.demo != nil {
+		h.Demo = s.demo.Health()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
