@@ -45,6 +45,9 @@ type (
 	EngineConfig = bifrost.Config
 	// Run is one executing or finished strategy.
 	Run = bifrost.Run
+	// MetricQuerier is the narrow metric-query interface the engine's
+	// check evaluation depends on; any telemetry backend can satisfy it.
+	MetricQuerier = bifrost.Querier
 )
 
 // ParseStrategy parses the experimentation-as-code DSL.
@@ -103,6 +106,11 @@ var AllRankingHeuristics = health.AllHeuristics
 type (
 	// MetricStore is the in-memory telemetry store checks query.
 	MetricStore = metrics.Store
+	// MetricScope identifies the deployment a metric series belongs to.
+	MetricScope = metrics.Scope
+	// MetricSample is one observation for batched ingestion
+	// (MetricStore.RecordBatch).
+	MetricSample = metrics.Sample
 	// RoutingTable is the runtime traffic routing table.
 	RoutingTable = router.Table
 	// TrafficProfile drives experiment scheduling.

@@ -67,14 +67,25 @@ type Event struct {
 	Detail  string
 }
 
+// Querier is the narrow metric-query surface the engine's check
+// evaluation depends on. *metrics.Store satisfies it; so does any
+// external telemetry backend (Prometheus adapter, test stub), which
+// decouples the execution engine from the concrete store.
+type Querier interface {
+	Query(metric string, scope metrics.Scope, since time.Time, agg metrics.Aggregation) (float64, error)
+}
+
+var _ Querier = (*metrics.Store)(nil)
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Clock defaults to the real clock.
 	Clock clock.Clock
 	// Table is the routing table the engine manipulates (required).
 	Table *router.Table
-	// Store is the metric store checks query (required).
-	Store *metrics.Store
+	// Store answers the metric queries checks evaluate (required).
+	// Typically a *metrics.Store.
+	Store Querier
 	// DefaultCheckInterval applies to checks without an Interval
 	// (default 10s).
 	DefaultCheckInterval time.Duration

@@ -364,13 +364,18 @@ func runScalingPoint(strategies, checks int, cfg ScalingConfig) (*ScalingPoint, 
 		return nil, err
 	}
 
-	// Pre-seed healthy metrics covering the whole run.
+	// Pre-seed healthy metrics covering the whole run, one batched
+	// write per strategy.
 	now := time.Now()
 	for i := 0; i < strategies; i++ {
 		scope := metrics.Scope{Service: svcName(i), Version: "v2"}
+		var batch []metrics.Sample
 		for ts := -cfg.RunDuration; ts <= 2*cfg.RunDuration; ts += cfg.CheckInterval / 2 {
-			store.Record("response_time", scope, now.Add(ts), 50)
+			batch = append(batch, metrics.Sample{
+				Metric: "response_time", Scope: scope, At: now.Add(ts), Value: 50,
+			})
 		}
+		store.RecordBatch(batch)
 	}
 
 	runs := make([]*Run, 0, strategies)

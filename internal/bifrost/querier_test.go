@@ -1,0 +1,88 @@
+package bifrost
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"contexp/internal/clock"
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+)
+
+// stubQuerier is a canned telemetry backend: it proves the engine only
+// needs the narrow Querier surface, not the concrete sharded store.
+type stubQuerier struct {
+	mu      sync.Mutex
+	values  map[string]float64 // metric\x00scope.String() -> value
+	queries int
+}
+
+func (q *stubQuerier) Query(metric string, scope metrics.Scope, since time.Time, agg metrics.Aggregation) (float64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.queries++
+	v, ok := q.values[metric+"\x00"+scope.String()]
+	if !ok {
+		return 0, metrics.ErrNoData
+	}
+	return v, nil
+}
+
+// TestEngineRunsAgainstStubQuerier executes a full strategy whose
+// checks are answered by a hand-rolled Querier instead of
+// *metrics.Store.
+func TestEngineRunsAgainstStubQuerier(t *testing.T) {
+	stub := &stubQuerier{values: map[string]float64{
+		"response_time\x00catalog/v2": 40, // healthy candidate
+		"requests\x00catalog/v2":      100,
+	}}
+	sim := clock.NewSim(t0)
+	table := router.NewTable()
+	eng, err := NewEngine(Config{Clock: sim, Table: table, Store: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := eng.Launch(&Strategy{
+		Name: "stubbed", Service: "catalog", Baseline: "v1", Candidate: "v2",
+		Phases: []Phase{{
+			Name: "canary", Practice: expmodel.PracticeCanary,
+			Traffic:  TrafficSpec{CandidateWeight: 0.1},
+			Duration: time.Minute,
+			Checks: []Check{{
+				Name: "latency", Metric: "response_time",
+				Aggregation: metrics.AggMean, Upper: true, Threshold: 100,
+				Interval: 10 * time.Second,
+			}},
+			OnSuccess: Transition{Kind: TransitionPromote},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case <-run.Done():
+			goto done
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run did not finish; status=%v", run.Status())
+		}
+		if d, ok := sim.NextDeadline(); ok {
+			sim.AdvanceTo(d)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+done:
+	if got := run.Status(); got != StatusSucceeded {
+		t.Fatalf("status = %v, want succeeded", got)
+	}
+	stub.mu.Lock()
+	defer stub.mu.Unlock()
+	if stub.queries == 0 {
+		t.Error("engine never queried the stub backend")
+	}
+}

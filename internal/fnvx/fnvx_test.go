@@ -1,0 +1,24 @@
+package fnvx
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestMatchesStdlib pins the inlined fold to the stdlib hash/fnv
+// stream: sticky user→arm assignments depend on this equivalence.
+func TestMatchesStdlib(t *testing.T) {
+	inputs := []string{"", "a", "user-12345", "catalog\x00salt", "héllo"}
+	for _, in := range inputs {
+		std := fnv.New64a()
+		_, _ = std.Write([]byte(in))
+		if got := String(Offset64, in); got != std.Sum64() {
+			t.Errorf("String(%q) = %d, stdlib %d", in, got, std.Sum64())
+		}
+	}
+	std := fnv.New64a()
+	_, _ = std.Write([]byte{0x42})
+	if got := Byte(Offset64, 0x42); got != std.Sum64() {
+		t.Errorf("Byte = %d, stdlib %d", got, std.Sum64())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
 	"contexp/internal/router"
 )
 
@@ -131,7 +132,23 @@ type Config struct {
 	// Uniform switches from Poisson to evenly spaced arrivals, used by
 	// latency-overhead measurements that want minimal arrival jitter.
 	Uniform bool
+	// Store, when non-nil, receives client-observed telemetry for every
+	// completed request — the end-user vantage point, complementing the
+	// services' self-reported metrics. Observations are flushed to the
+	// store in batches (RecordBatch) so the generator does not pay one
+	// store round-trip per request.
+	Store *metrics.Store
+	// Metric is the latency series name recorded into Store
+	// (default "client_latency", milliseconds).
+	Metric string
+	// MetricScope identifies the recording scope (default service
+	// "loadgen", version "client").
+	MetricScope metrics.Scope
 }
+
+// flushEvery bounds the client-telemetry batch the generator buffers
+// before handing it to the store.
+const flushEvery = 256
 
 // Sample is one completed request.
 type Sample struct {
@@ -185,6 +202,23 @@ func Run(cfg Config, pop *Population, target Target) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{}
 	interval := time.Duration(float64(time.Second) / cfg.RPS)
+
+	metric := cfg.Metric
+	if metric == "" {
+		metric = "client_latency"
+	}
+	scope := cfg.MetricScope
+	if scope == (metrics.Scope{}) {
+		scope = metrics.Scope{Service: "loadgen", Version: "client"}
+	}
+	var pending []metrics.Sample
+	flush := func() {
+		if cfg.Store != nil && len(pending) > 0 {
+			cfg.Store.RecordBatch(pending)
+			pending = pending[:0]
+		}
+	}
+
 	at := cfg.Start
 	end := cfg.Start.Add(cfg.Duration)
 	for at.Before(end) {
@@ -194,6 +228,15 @@ func Run(cfg Config, pop *Population, target Target) (*Result, error) {
 			res.Errors++
 		} else {
 			res.Samples = append(res.Samples, Sample{At: at, Latency: latency, Failed: failed})
+			if cfg.Store != nil {
+				pending = append(pending, metrics.Sample{
+					Metric: metric, Scope: scope, At: at,
+					Value: float64(latency) / float64(time.Millisecond),
+				})
+				if len(pending) >= flushEvery {
+					flush()
+				}
+			}
 		}
 		if cfg.Uniform {
 			at = at.Add(interval)
@@ -205,5 +248,6 @@ func Run(cfg Config, pop *Population, target Target) (*Result, error) {
 			at = at.Add(gap)
 		}
 	}
+	flush()
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
 	"contexp/internal/router"
 )
 
@@ -158,5 +159,46 @@ func TestResultHelpers(t *testing.T) {
 	empty := &Result{}
 	if empty.FailureRate() != 0 {
 		t.Error("empty FailureRate should be 0")
+	}
+}
+
+// TestRunRecordsClientTelemetry: with a Store configured, the generator
+// flushes one client-latency observation per completed request in
+// batches, under the default metric and scope.
+func TestRunRecordsClientTelemetry(t *testing.T) {
+	p := pop(t, 50)
+	store := metrics.NewStore(0)
+	target := TargetFunc(func(req *router.Request, at time.Time) (time.Duration, bool, error) {
+		return 7 * time.Millisecond, false, nil
+	})
+	res, err := Run(Config{
+		RPS: 500, Duration: time.Second, Start: tBase, Uniform: true,
+		Store: store,
+	}, p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := metrics.Scope{Service: "loadgen", Version: "client"}
+	count, err := store.Query("client_latency", scope, time.Time{}, metrics.AggCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(count) != len(res.Samples) {
+		t.Errorf("recorded %v observations, want %d", count, len(res.Samples))
+	}
+	if mean, err := store.Query("client_latency", scope, time.Time{}, metrics.AggMean); err != nil || mean != 7 {
+		t.Errorf("mean = %v, %v; want 7", mean, err)
+	}
+	// A custom metric and scope are honored.
+	store2 := metrics.NewStore(0)
+	custom := metrics.Scope{Service: "edge", Version: "lb-1"}
+	if _, err := Run(Config{
+		RPS: 100, Duration: 100 * time.Millisecond, Start: tBase, Uniform: true,
+		Store: store2, Metric: "e2e_latency", MetricScope: custom,
+	}, p, target); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store2.Query("e2e_latency", custom, time.Time{}, metrics.AggCount); err != nil || got == 0 {
+		t.Errorf("custom scope count = %v, %v", got, err)
 	}
 }

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -20,9 +22,52 @@ func BenchmarkQueryP95(b *testing.B) {
 	scope := Scope{Service: "svc", Version: "v1"}
 	base := time.Now()
 	for i := 0; i < 10000; i++ {
-		st.Record("rt", scope, base.Add(time.Duration(i)*time.Millisecond), float64(i%100))
+		// Strictly positive latencies: zero values would route quantiles
+		// through the exact underflow fallback instead of the sketch.
+		st.Record("rt", scope, base.Add(time.Duration(i)*time.Millisecond), 1+float64(i%100))
 	}
 	since := base.Add(5 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query("rt", scope, since, AggP95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecordParallel hammers the write path from all cores over
+// several series: the sharded map means writers of different series
+// never serialize on a store-wide lock.
+func BenchmarkRecordParallel(b *testing.B) {
+	st := NewStore(0)
+	now := time.Now()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		g := next.Add(1)
+		scope := Scope{Service: "svc", Version: fmt.Sprintf("v%d", g)}
+		i := 0
+		for pb.Next() {
+			st.Record("rt", scope, now.Add(time.Duration(i)*time.Millisecond), float64(i%100))
+			i++
+		}
+	})
+}
+
+// BenchmarkQueryP95Hot queries a percentile on a full-capacity series
+// (DefaultSeriesCapacity raw observations). The streaming histogram
+// sketch answers in O(time buckets + histogram buckets) — no copy, no
+// sort of the 65k-sample window.
+func BenchmarkQueryP95Hot(b *testing.B) {
+	st := NewStore(0)
+	scope := Scope{Service: "svc", Version: "v1"}
+	base := time.Now()
+	for i := 0; i < DefaultSeriesCapacity; i++ {
+		// Strictly positive latencies (see BenchmarkQueryP95).
+		st.Record("rt", scope, base.Add(time.Duration(i)*time.Millisecond), 1+float64(i%250))
+	}
+	since := base // whole window: every bucket merges into the answer
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Query("rt", scope, since, AggP95); err != nil {

@@ -24,6 +24,18 @@
 // rate over an existing-but-empty window return 0 instead, since
 // "nothing happened" is a real answer for those.
 //
+// Performance model: the series map is sharded by key hash so writers
+// of different series never contend on one store-wide lock, and each
+// series maintains streaming aggregates in a ring of one-second time
+// buckets — running count/sum/min/max, the bucket's first/last
+// observation times, and a log-bucketed histogram sketch. Windowed
+// count/sum/mean/min/max/rate queries are O(time buckets) and
+// median/p95/p99 merge the sketches instead of copying and sorting the
+// raw window (quantiles carry the sketch's bounded relative error; see
+// docs/PERFORMANCE.md). Values keeps the exact raw-sample path for the
+// stats/analysis layer. Queries reaching back before the aggregate
+// ring's coverage fall back to an exact scan of the raw ring.
+//
 // All operations are safe for concurrent use; writers contend only on
 // their own series. The per-series ring (DefaultSeriesCapacity) bounds
 // memory, evicting oldest-first, and holds several minutes of history
@@ -34,10 +46,13 @@ package metrics
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"contexp/internal/fnvx"
 )
 
 // Scope identifies the deployment a series belongs to.
@@ -132,19 +147,131 @@ type observation struct {
 	value float64
 }
 
+// --- histogram sketch ---
+//
+// Values are assigned to log-spaced buckets: bucket i (1 ≤ i ≤
+// histInterior) covers (histMin·γ^(i-1), histMin·γ^i]; bucket 0 catches
+// everything ≤ histMin (including zero and negatives, which latencies
+// and counters never produce) and the last bucket everything > histMax.
+// A quantile read returns the geometric midpoint of its bucket, so the
+// relative error is bounded by √γ − 1 (≈ 4.9% with γ = 1.1).
+const (
+	histGamma    = 1.1
+	histMin      = 1e-3
+	histMax      = 1e6
+	histInterior = 218 // ceil(ln(histMax/histMin)/ln(histGamma))
+	histSize     = histInterior + 2
+)
+
+var lnHistGamma = math.Log(histGamma)
+
+func histIndex(v float64) int {
+	if !(v > histMin) { // also catches NaN
+		return 0
+	}
+	if v >= histMax {
+		return histSize - 1
+	}
+	i := 1 + int(math.Log(v/histMin)/lnHistGamma)
+	if i < 1 {
+		i = 1
+	}
+	if i > histInterior {
+		i = histInterior
+	}
+	return i
+}
+
+func histValue(i int) float64 {
+	switch {
+	case i <= 0:
+		return histMin
+	case i >= histSize-1:
+		return histMax
+	default:
+		return histMin * math.Pow(histGamma, float64(i)-0.5)
+	}
+}
+
+// --- time-bucket ring ---
+
+const (
+	// bucketWidth is the streaming-aggregate resolution; windows snap to
+	// bucket boundaries (a bucket straddling `since` is included whole).
+	bucketWidth = time.Second
+	// numTimeBuckets bounds the aggregate ring: ~4 minutes of coverage,
+	// matching the raw ring's "several minutes" retention claim.
+	numTimeBuckets = 256
+)
+
+// aggBucket holds the streaming aggregates of one bucketWidth interval.
+type aggBucket struct {
+	idx     int64 // at.Unix() of the interval start; full index, not mod
+	count   int
+	sum     float64
+	min     float64
+	max     float64
+	firstAt time.Time // earliest observation in the bucket
+	lastAt  time.Time // latest observation in the bucket
+	hist    [histSize]uint32
+}
+
+func (b *aggBucket) reset(idx int64) {
+	*b = aggBucket{idx: idx, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (b *aggBucket) add(at time.Time, v float64) {
+	b.count++
+	b.sum += v
+	if v < b.min {
+		b.min = v
+	}
+	if v > b.max {
+		b.max = v
+	}
+	if b.firstAt.IsZero() || at.Before(b.firstAt) {
+		b.firstAt = at
+	}
+	if b.lastAt.IsZero() || at.After(b.lastAt) {
+		b.lastAt = at
+	}
+	b.hist[histIndex(v)]++
+}
+
 type series struct {
 	mu         sync.Mutex
-	buf        []observation // ring buffer
+	buf        []observation // raw ring buffer (exact path, Values)
 	head, size int
+
+	// Streaming aggregates: a ring of one-second buckets, lazily
+	// allocated. latestIdx is the highest bucket index written and
+	// earliestIdx the lowest ever seen; coverage spans
+	// (latestIdx-numTimeBuckets, latestIdx]. While
+	// latestIdx-earliestIdx stays inside the ring, the aggregates hold
+	// every observation ever recorded and answer any window; once data
+	// falls outside, queries reaching past coverage use the exact raw
+	// path.
+	buckets     []*aggBucket
+	earliestIdx int64
+	latestIdx   int64
+	hasAgg      bool
 }
 
 func newSeries(capacity int) *series {
-	return &series{buf: make([]observation, capacity)}
+	return &series{
+		buf:     make([]observation, capacity),
+		buckets: make([]*aggBucket, numTimeBuckets),
+	}
 }
 
 func (s *series) record(at time.Time, v float64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.recordLocked(at, v)
+	s.mu.Unlock()
+}
+
+func (s *series) recordLocked(at time.Time, v float64) {
+	// Raw ring.
 	idx := (s.head + s.size) % len(s.buf)
 	s.buf[idx] = observation{at: at, value: v}
 	if s.size < len(s.buf) {
@@ -152,12 +279,54 @@ func (s *series) record(at time.Time, v float64) {
 	} else {
 		s.head = (s.head + 1) % len(s.buf)
 	}
+
+	// Streaming aggregates.
+	bIdx := at.Unix()
+	if !s.hasAgg {
+		s.hasAgg = true
+		s.earliestIdx = bIdx
+		s.latestIdx = bIdx
+	} else {
+		if bIdx > s.latestIdx {
+			s.latestIdx = bIdx
+		}
+		if bIdx < s.earliestIdx {
+			s.earliestIdx = bIdx
+		}
+	}
+	if bIdx <= s.latestIdx-numTimeBuckets {
+		// Too old for the aggregate ring; only the raw ring sees it
+		// (and earliestIdx now marks coverage as incomplete).
+		return
+	}
+	slot := int(((bIdx % numTimeBuckets) + numTimeBuckets) % numTimeBuckets)
+	b := s.buckets[slot]
+	if b == nil {
+		b = &aggBucket{}
+		b.reset(bIdx)
+		s.buckets[slot] = b
+	} else if b.idx != bIdx {
+		b.reset(bIdx)
+	}
+	b.add(at, v)
 }
 
-// window copies out all observations with at >= since.
+// coversAgg reports whether the aggregate ring fully answers a query
+// from `since`: either no data has ever fallen outside the ring, or the
+// window starts inside its coverage.
+func (s *series) coversAgg(since time.Time) bool {
+	if !s.hasAgg {
+		return false
+	}
+	if s.latestIdx-s.earliestIdx < numTimeBuckets {
+		return true
+	}
+	coverageStart := time.Unix(s.latestIdx-numTimeBuckets+1, 0)
+	return !since.Before(coverageStart)
+}
+
+// window copies out all observations with at >= since (exact path).
 func (s *series) window(since time.Time) []observation {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]observation, 0, s.size)
 	for i := 0; i < s.size; i++ {
 		o := s.buf[(s.head+i)%len(s.buf)]
@@ -168,11 +337,20 @@ func (s *series) window(since time.Time) []observation {
 	return out
 }
 
+// shard is one partition of the series map with its own lock.
+type shard struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NumShards is the number of series-map partitions; writers of
+// different series only contend within their shard.
+const NumShards = 16
+
 // Store is a concurrency-safe metric store. The zero value is not usable;
 // construct with NewStore.
 type Store struct {
-	mu       sync.RWMutex
-	series   map[string]*series
+	shards   [NumShards]shard
 	capacity int
 }
 
@@ -188,42 +366,239 @@ func NewStore(capacity int) *Store {
 	if capacity <= 0 {
 		capacity = DefaultSeriesCapacity
 	}
-	return &Store{series: make(map[string]*series), capacity: capacity}
+	st := &Store{capacity: capacity}
+	for i := range st.shards {
+		st.shards[i].series = make(map[string]*series)
+	}
+	return st
 }
 
 func seriesKey(metric string, scope Scope) string {
 	return metric + "\x00" + scope.Service + "\x00" + scope.Version + "\x00" + scope.Variant
 }
 
+func (st *Store) shardFor(key string) *shard {
+	return &st.shards[fnvx.String(fnvx.Offset64, key)&(NumShards-1)]
+}
+
+// lookup returns the series for key, or nil.
+func (st *Store) lookup(key string) *series {
+	sh := st.shardFor(key)
+	sh.mu.RLock()
+	s := sh.series[key]
+	sh.mu.RUnlock()
+	return s
+}
+
+// getOrCreate returns the series for key, creating it on first write.
+func (st *Store) getOrCreate(key string) *series {
+	sh := st.shardFor(key)
+	sh.mu.RLock()
+	s := sh.series[key]
+	sh.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	sh.mu.Lock()
+	s = sh.series[key]
+	if s == nil {
+		s = newSeries(st.capacity)
+		sh.series[key] = s
+	}
+	sh.mu.Unlock()
+	return s
+}
+
 // Record appends an observation to (metric, scope) at time at.
 func (st *Store) Record(metric string, scope Scope, at time.Time, value float64) {
-	key := seriesKey(metric, scope)
-	st.mu.RLock()
-	s := st.series[key]
-	st.mu.RUnlock()
-	if s == nil {
-		st.mu.Lock()
-		s = st.series[key]
-		if s == nil {
-			s = newSeries(st.capacity)
-			st.series[key] = s
+	st.getOrCreate(seriesKey(metric, scope)).record(at, value)
+}
+
+// Sample is one observation destined for (Metric, Scope); the batched
+// ingestion unit of RecordBatch.
+type Sample struct {
+	Metric string
+	Scope  Scope
+	At     time.Time
+	Value  float64
+}
+
+// RecordBatch records a batch of samples. Consecutive samples for the
+// same series are appended under one lock acquisition, so ingestion
+// paths that deliver many observations at once (HTTP ingestion, the
+// simulators' per-request telemetry, load-generator flushes) amortize
+// the per-call overhead of Record.
+func (st *Store) RecordBatch(samples []Sample) {
+	for i := 0; i < len(samples); {
+		j := i + 1
+		for j < len(samples) &&
+			samples[j].Metric == samples[i].Metric && samples[j].Scope == samples[i].Scope {
+			j++
 		}
-		st.mu.Unlock()
+		s := st.getOrCreate(seriesKey(samples[i].Metric, samples[i].Scope))
+		s.mu.Lock()
+		for k := i; k < j; k++ {
+			s.recordLocked(samples[k].At, samples[k].Value)
+		}
+		s.mu.Unlock()
+		i = j
 	}
-	s.record(at, value)
 }
 
 // Query reduces the observations of (metric, scope) recorded at or after
 // `since` (up to `now` semantics are the caller's: everything recorded is
 // included) with the given aggregation.
+//
+// Count/sum/mean/min/max/rate read the streaming per-bucket aggregates
+// in O(time buckets); median/p95/p99 merge the per-bucket histogram
+// sketches (bounded relative error) instead of sorting raw samples.
+// Windows snap to one-second bucket boundaries: a bucket straddling
+// `since` contributes whole. Queries reaching back before the aggregate
+// ring's coverage fall back to an exact scan of the raw ring.
 func (st *Store) Query(metric string, scope Scope, since time.Time, agg Aggregation) (float64, error) {
-	st.mu.RLock()
-	s := st.series[seriesKey(metric, scope)]
-	st.mu.RUnlock()
+	s := st.lookup(seriesKey(metric, scope))
 	if s == nil {
 		return 0, fmt.Errorf("%w: no series %s %s", ErrNoData, metric, scope)
 	}
+	s.mu.Lock()
+	if s.coversAgg(since) {
+		v, ok, err := queryBuckets(s, since, agg)
+		if ok {
+			s.mu.Unlock()
+			return v, err
+		}
+		// Quantile over underflow-bucket values (≤ histMin, e.g. zero or
+		// negative): the sketch cannot place them, use the exact path.
+	}
+	// Exact fallback: copy the window under the lock, aggregate (and
+	// for percentiles, sort) outside it so a large scan never blocks
+	// writers to this series.
 	obs := s.window(since)
+	s.mu.Unlock()
+	return queryExact(obs, agg)
+}
+
+// queryBuckets answers from the streaming aggregate ring. Caller holds
+// the series lock. ok reports whether the ring could answer; it is
+// false when the aggregation needs the exact path instead (quantiles
+// over values the sketch cannot place).
+func queryBuckets(s *series, since time.Time, agg Aggregation) (float64, bool, error) {
+	var (
+		count    int
+		sum      float64
+		minV     = math.Inf(1)
+		maxV     = math.Inf(-1)
+		firstAt  time.Time
+		lastAt   time.Time
+		hist     [histSize]uint64
+		needHist = agg == AggMedian || agg == AggP95 || agg == AggP99
+	)
+	oldestValid := s.latestIdx - numTimeBuckets // exclusive lower bound
+	for _, b := range s.buckets {
+		if b == nil || b.count == 0 || b.idx <= oldestValid {
+			continue
+		}
+		if !time.Unix(b.idx+1, 0).After(since) {
+			continue // bucket ends at or before the window start
+		}
+		count += b.count
+		sum += b.sum
+		if b.min < minV {
+			minV = b.min
+		}
+		if b.max > maxV {
+			maxV = b.max
+		}
+		if firstAt.IsZero() || b.firstAt.Before(firstAt) {
+			firstAt = b.firstAt
+		}
+		if lastAt.IsZero() || b.lastAt.After(lastAt) {
+			lastAt = b.lastAt
+		}
+		if needHist {
+			for i, c := range b.hist {
+				hist[i] += uint64(c)
+			}
+		}
+	}
+	if count == 0 && agg != AggCount && agg != AggRate && agg != AggSum {
+		return 0, true, ErrNoData
+	}
+	switch agg {
+	case AggCount:
+		return float64(count), true, nil
+	case AggSum:
+		return sum, true, nil
+	case AggRate:
+		if count < 2 {
+			return 0, true, nil
+		}
+		span := lastAt.Sub(firstAt).Seconds()
+		if span <= 0 {
+			return 0, true, nil
+		}
+		return float64(count) / span, true, nil
+	case AggMean:
+		return sum / float64(count), true, nil
+	case AggMin:
+		return minV, true, nil
+	case AggMax:
+		return maxV, true, nil
+	case AggMedian, AggP95, AggP99:
+		if hist[0] > 0 {
+			// Values at or below histMin (zero, negative) all collapse
+			// into the underflow bucket; their quantiles need raw samples.
+			return 0, false, nil
+		}
+		q := histQuantile(&hist, count, quantileTarget(agg))
+		// The window's exact extremes bound the sketch answer: clamp so
+		// under/overflow representatives never leave the observed range.
+		if q < minV {
+			q = minV
+		}
+		if q > maxV {
+			q = maxV
+		}
+		return q, true, nil
+	default:
+		return 0, true, fmt.Errorf("metrics: unsupported aggregation %v", agg)
+	}
+}
+
+func quantileTarget(agg Aggregation) float64 {
+	switch agg {
+	case AggMedian:
+		return 0.5
+	case AggP95:
+		return 0.95
+	default:
+		return 0.99
+	}
+}
+
+// histQuantile reads the p-quantile from a merged sketch: the bucket
+// containing rank p·(n−1), reported as its geometric midpoint.
+func histQuantile(hist *[histSize]uint64, count int, p float64) float64 {
+	target := p * float64(count-1)
+	cum := uint64(0)
+	last := 0
+	for i, c := range hist {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		last = i
+		if float64(cum-1) >= target {
+			return histValue(i)
+		}
+	}
+	return histValue(last)
+}
+
+// queryExact aggregates a copied-out window: the fallback for windows
+// older than the aggregate ring's coverage and for quantiles the
+// sketch cannot place. Runs without any lock held.
+func queryExact(obs []observation, agg Aggregation) (float64, error) {
 	if len(obs) == 0 && agg != AggCount && agg != AggRate && agg != AggSum {
 		return 0, ErrNoData
 	}
@@ -273,23 +648,23 @@ func (st *Store) Query(metric string, scope Scope, since time.Time, agg Aggregat
 			vals[i] = o.value
 		}
 		sort.Float64s(vals)
-		p := map[Aggregation]float64{AggMedian: 0.5, AggP95: 0.95, AggP99: 0.99}[agg]
-		return quantileSorted(vals, p), nil
+		return quantileSorted(vals, quantileTarget(agg)), nil
 	default:
 		return 0, fmt.Errorf("metrics: unsupported aggregation %v", agg)
 	}
 }
 
 // Values returns the raw observation values of (metric, scope) at or after
-// since, in arrival order.
+// since, in arrival order. This is the exact path: the stats/analysis
+// layer sorts and summarizes these samples itself.
 func (st *Store) Values(metric string, scope Scope, since time.Time) []float64 {
-	st.mu.RLock()
-	s := st.series[seriesKey(metric, scope)]
-	st.mu.RUnlock()
+	s := st.lookup(seriesKey(metric, scope))
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
 	obs := s.window(since)
+	s.mu.Unlock()
 	out := make([]float64, len(obs))
 	for i, o := range obs {
 		out[i] = o.value
@@ -299,16 +674,27 @@ func (st *Store) Values(metric string, scope Scope, since time.Time) []float64 {
 
 // SeriesCount returns the number of distinct series in the store.
 func (st *Store) SeriesCount() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.series)
+	var n int
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
 }
+
+// ShardCount returns the number of series-map partitions.
+func (st *Store) ShardCount() int { return NumShards }
 
 // Reset drops all series.
 func (st *Store) Reset() {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.series = make(map[string]*series)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sh.series = make(map[string]*series)
+		sh.mu.Unlock()
+	}
 }
 
 // quantileSorted mirrors stats.QuantileSorted; duplicated locally to keep

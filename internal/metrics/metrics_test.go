@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -66,19 +67,18 @@ func TestRecordAndQueryAggregations(t *testing.T) {
 	for i, v := range vals {
 		st.Record("response_time", scopeV1, t0.Add(time.Duration(i)*time.Second), v)
 	}
-	tests := []struct {
+	// Streaming aggregates are exact.
+	exact := []struct {
 		agg  Aggregation
 		want float64
 	}{
 		{AggMean, 30},
-		{AggMedian, 30},
 		{AggMin, 10},
 		{AggMax, 50},
 		{AggCount, 5},
 		{AggSum, 150},
-		{AggP95, 48}, // type-7 quantile of 5 points
 	}
-	for _, tt := range tests {
+	for _, tt := range exact {
 		got, err := st.Query("response_time", scopeV1, t0, tt.agg)
 		if err != nil {
 			t.Fatalf("%v: %v", tt.agg, err)
@@ -86,6 +86,122 @@ func TestRecordAndQueryAggregations(t *testing.T) {
 		if math.Abs(got-tt.want) > 1e-9 {
 			t.Errorf("Query(%v) = %v, want %v", tt.agg, got, tt.want)
 		}
+	}
+	// Percentiles come from the histogram sketch: bounded relative error
+	// (√γ−1 ≈ 5%) around the exact type-7 quantile.
+	approx := []struct {
+		agg  Aggregation
+		want float64
+	}{
+		{AggMedian, 30},
+		{AggP95, 48}, // type-7 quantile of 5 points
+	}
+	for _, tt := range approx {
+		got, err := st.Query("response_time", scopeV1, t0, tt.agg)
+		if err != nil {
+			t.Fatalf("%v: %v", tt.agg, err)
+		}
+		if math.Abs(got-tt.want)/tt.want > 0.10 {
+			t.Errorf("Query(%v) = %v, want %v ±10%%", tt.agg, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileSketchAccuracy(t *testing.T) {
+	// A dense series: the sketch's p95/p99 must land within its
+	// documented relative-error bound of the exact sorted quantile.
+	st := NewStore(0)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		// Latency-like values spread over two decades.
+		v := 1 + 0.05*float64(i%2000)
+		st.Record("rt", scopeV1, t0.Add(time.Duration(i)*time.Millisecond), v)
+	}
+	vals := st.Values("rt", scopeV1, time.Time{})
+	sorted := append([]float64(nil), vals...)
+	sortFloat64s(sorted)
+	for _, tt := range []struct {
+		agg Aggregation
+		p   float64
+	}{{AggMedian, 0.5}, {AggP95, 0.95}, {AggP99, 0.99}} {
+		got, err := st.Query("rt", scopeV1, t0, tt.agg)
+		if err != nil {
+			t.Fatalf("%v: %v", tt.agg, err)
+		}
+		want := quantileSorted(sorted, tt.p)
+		if math.Abs(got-want)/want > 0.06 {
+			t.Errorf("%v = %v, exact %v: outside 6%% bound", tt.agg, got, want)
+		}
+	}
+}
+
+func sortFloat64s(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestQueryExactFallbackBeforeCoverage(t *testing.T) {
+	// Observations further apart than the aggregate ring's coverage:
+	// a query reaching back past coverage must fall back to the exact
+	// raw path and still see everything in the raw ring.
+	st := NewStore(0)
+	st.Record("rt", scopeV1, t0, 10)
+	st.Record("rt", scopeV1, t0.Add(400*time.Second), 30) // > numTimeBuckets seconds later
+	got, err := st.Query("rt", scopeV1, time.Time{}, AggCount)
+	if err != nil || got != 2 {
+		t.Fatalf("full-history count = %v, %v; want 2", got, err)
+	}
+	if got, err := st.Query("rt", scopeV1, time.Time{}, AggMean); err != nil || got != 20 {
+		t.Errorf("full-history mean = %v, %v; want 20", got, err)
+	}
+	// A recent window still uses the aggregate path and sees only the
+	// covered observation.
+	if got, err := st.Query("rt", scopeV1, t0.Add(399*time.Second), AggCount); err != nil || got != 1 {
+		t.Errorf("recent count = %v, %v; want 1", got, err)
+	}
+}
+
+func TestRecordBatch(t *testing.T) {
+	st := NewStore(0)
+	batch := []Sample{
+		{Metric: "rt", Scope: scopeV1, At: t0, Value: 10},
+		{Metric: "rt", Scope: scopeV1, At: t0.Add(time.Second), Value: 20},
+		{Metric: "requests", Scope: scopeV1, At: t0, Value: 1},
+		{Metric: "rt", Scope: scopeV2, At: t0, Value: 99},
+	}
+	st.RecordBatch(batch)
+	if got, err := st.Query("rt", scopeV1, t0, AggCount); err != nil || got != 2 {
+		t.Errorf("rt/v1 count = %v, %v; want 2", got, err)
+	}
+	if got, err := st.Query("rt", scopeV1, t0, AggSum); err != nil || got != 30 {
+		t.Errorf("rt/v1 sum = %v, %v; want 30", got, err)
+	}
+	if got, err := st.Query("requests", scopeV1, t0, AggCount); err != nil || got != 1 {
+		t.Errorf("requests count = %v, %v; want 1", got, err)
+	}
+	if got, err := st.Query("rt", scopeV2, t0, AggMax); err != nil || got != 99 {
+		t.Errorf("rt/v2 max = %v, %v; want 99", got, err)
+	}
+	if st.SeriesCount() != 3 {
+		t.Errorf("SeriesCount = %d, want 3", st.SeriesCount())
+	}
+	st.RecordBatch(nil) // no-op
+}
+
+func TestShardCount(t *testing.T) {
+	st := NewStore(0)
+	if st.ShardCount() != NumShards {
+		t.Errorf("ShardCount = %d, want %d", st.ShardCount(), NumShards)
+	}
+	// Series land across shards and are all counted.
+	for i := 0; i < 100; i++ {
+		st.Record("rt", Scope{Service: "svc", Version: string(rune('a'+i%26)) + string(rune('0'+i/26))}, t0, 1)
+	}
+	if st.SeriesCount() != 100 {
+		t.Errorf("SeriesCount = %d, want 100", st.SeriesCount())
 	}
 }
 
@@ -211,10 +327,72 @@ func TestConcurrentRecordQuery(t *testing.T) {
 	}
 }
 
+// TestParallelRecordQueryReset exercises the sharded store under -race:
+// concurrent writers on many series, readers on both query paths, and
+// periodic store-wide resets.
+func TestParallelRecordQueryReset(t *testing.T) {
+	st := NewStore(512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scope := Scope{Service: "svc", Version: fmt.Sprintf("v%d", g%4)}
+			for i := 0; i < 2000; i++ {
+				at := t0.Add(time.Duration(i) * time.Millisecond)
+				if i%3 == 0 {
+					st.RecordBatch([]Sample{
+						{Metric: "rt", Scope: scope, At: at, Value: float64(i)},
+						{Metric: "requests", Scope: scope, At: at, Value: 1},
+					})
+				} else {
+					st.Record("rt", scope, at, float64(i))
+				}
+				if i%50 == 0 {
+					_, _ = st.Query("rt", scope, t0, AggP95)
+					_, _ = st.Query("rt", scope, t0, AggMean)
+					_ = st.Values("rt", scope, t0)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			st.Reset()
+			_ = st.SeriesCount()
+		}
+	}()
+	wg.Wait()
+}
+
 func TestUnsupportedAggregation(t *testing.T) {
 	st := NewStore(0)
 	st.Record("rt", scopeV1, t0, 1)
 	if _, err := st.Query("rt", scopeV1, t0, Aggregation(99)); err == nil {
 		t.Error("expected error for unknown aggregation")
+	}
+}
+
+// TestQuantileNonPositiveValuesExact: zero/negative values collapse
+// into the sketch's underflow bucket, so quantile queries over them
+// must take the exact path instead of reporting the bucket boundary.
+func TestQuantileNonPositiveValuesExact(t *testing.T) {
+	st := NewStore(0)
+	for i, v := range []float64{-5, -3, -1} {
+		st.Record("delta", scopeV1, t0.Add(time.Duration(i)*time.Second), v)
+	}
+	if got, err := st.Query("delta", scopeV1, t0, AggMedian); err != nil || got != -3 {
+		t.Errorf("median = %v, %v; want -3", got, err)
+	}
+	if got, err := st.Query("delta", scopeV1, t0, AggMin); err != nil || got != -5 {
+		t.Errorf("min = %v, %v; want -5", got, err)
+	}
+	// Mixed signs also route quantiles through the exact path.
+	st.Record("delta", scopeV1, t0.Add(3*time.Second), 10)
+	want := quantileSorted([]float64{-5, -3, -1, 10}, 0.5)
+	if got, err := st.Query("delta", scopeV1, t0, AggMedian); err != nil || got != want {
+		t.Errorf("mixed median = %v, %v; want %v", got, err, want)
 	}
 }

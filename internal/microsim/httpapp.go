@@ -212,11 +212,17 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 		now := time.Now()
 		elapsedMs := float64(time.Since(start)) / float64(time.Millisecond)
 		if h.store != nil {
-			h.store.Record(MetricResponseTime, scope, now, elapsedMs)
-			h.store.Record(MetricRequests, scope, now, 1)
-			if failed {
-				h.store.Record(MetricErrors, scope, now, 1)
+			// Self-report the request's telemetry as one batch.
+			batch := [3]metrics.Sample{
+				{Metric: MetricResponseTime, Scope: scope, At: now, Value: elapsedMs},
+				{Metric: MetricRequests, Scope: scope, At: now, Value: 1},
+				{Metric: MetricErrors, Scope: scope, At: now, Value: 1},
 			}
+			n := 2
+			if failed {
+				n = 3
+			}
+			h.store.RecordBatch(batch[:n])
 		}
 		w.Header().Set("X-Version", sv.Version)
 		if failed {

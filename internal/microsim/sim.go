@@ -169,12 +169,19 @@ func (e *execution) invoke(service, version, endpoint string, req *router.Reques
 	}
 	scope := metrics.Scope{Service: service, Version: version, Variant: variantTag}
 	if e.sim.store != nil {
+		// One batched write per invocation: the store acquires each
+		// series lock once instead of once per metric.
 		ms := float64(total) / float64(time.Millisecond)
-		e.sim.store.Record(MetricResponseTime, scope, at, ms)
-		e.sim.store.Record(MetricRequests, scope, at, 1)
-		if failed {
-			e.sim.store.Record(MetricErrors, scope, at, 1)
+		batch := [3]metrics.Sample{
+			{Metric: MetricResponseTime, Scope: scope, At: at, Value: ms},
+			{Metric: MetricRequests, Scope: scope, At: at, Value: 1},
+			{Metric: MetricErrors, Scope: scope, At: at, Value: 1},
 		}
+		n := 2
+		if failed {
+			n = 3
+		}
+		e.sim.store.RecordBatch(batch[:n])
 	}
 	if !dark {
 		// Dark spans are excluded from traces: the tracing backend only

@@ -22,6 +22,16 @@
 // duplicating dark-launch traffic to mirror versions off the request
 // path.
 //
+// Concurrency model: the table keeps its routes in an immutable
+// snapshot behind an atomic pointer. Resolve loads the snapshot and
+// reads precompiled routing state — no locks, no allocations — so the
+// read path scales linearly with cores under production traffic.
+// Mutations serialize on a writer-only mutex, build a fresh snapshot
+// (copy-on-write), and publish it atomically; in-flight resolutions
+// keep using the snapshot they loaded, the next request sees the new
+// one. This is the immutable-config-snapshot idiom of Envoy/Istio-style
+// data planes.
+//
 // Typical wiring:
 //
 //	table := router.NewTable()
@@ -40,12 +50,13 @@ package router
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"contexp/internal/expmodel"
+	"contexp/internal/fnvx"
 )
 
 // Request carries the routing-relevant attributes of a user request.
@@ -126,6 +137,17 @@ type Route struct {
 	StickySalt string
 }
 
+// clone returns a Route whose slices are independent of the receiver's.
+// Matcher values inside Rules are shared; they are immutable by
+// convention.
+func (r Route) clone() Route {
+	cp := r
+	cp.Rules = append([]Rule(nil), r.Rules...)
+	cp.Backends = append([]Backend(nil), r.Backends...)
+	cp.Mirrors = append([]string(nil), r.Mirrors...)
+	return cp
+}
+
 // normalize validates the route and normalizes backend weights to sum 1.
 func (r *Route) normalize() error {
 	if len(r.Backends) == 0 {
@@ -151,6 +173,8 @@ func (r *Route) normalize() error {
 type Decision struct {
 	Version string
 	// Mirrors lists versions that must receive a duplicated request.
+	// The slice is shared with the table's immutable snapshot; callers
+	// must not modify it.
 	Mirrors []string
 	// Rule is the name of the matching rule, or "" for the weighted split.
 	Rule string
@@ -158,179 +182,237 @@ type Decision struct {
 	Sticky bool
 }
 
-// Table is a concurrency-safe routing table. The zero value is not
-// usable; construct with NewTable.
-type Table struct {
-	mu     sync.RWMutex
-	routes map[string]*Route
-	// version bumps on every mutation; metrics/debug surfaces expose it.
+// compiledRoute is the resolve-ready form of one route: the canonical
+// deep-owned Route plus the precomputed split state Resolve walks.
+// compiledRoutes are immutable once published in a snapshot.
+type compiledRoute struct {
+	route Route
+	// cum[i] is the cumulative weight through backend i; cum[len-1] ≈ 1.
+	cum []float64
+	// versions[i] is Backends[i].Version, kept adjacent for the split walk.
+	versions []string
+}
+
+func compileRoute(route Route) (*compiledRoute, error) {
+	cp := route.clone()
+	if err := cp.normalize(); err != nil {
+		return nil, err
+	}
+	cr := &compiledRoute{
+		route:    cp,
+		cum:      make([]float64, len(cp.Backends)),
+		versions: make([]string, len(cp.Backends)),
+	}
+	var cum float64
+	for i, b := range cp.Backends {
+		cum += b.Weight
+		cr.cum[i] = cum
+		cr.versions[i] = b.Version
+	}
+	return cr, nil
+}
+
+// snapshot is one immutable generation of the routing table.
+type snapshot struct {
+	routes  map[string]*compiledRoute
 	version uint64
+}
+
+// Table is a concurrency-safe routing table. Reads (Resolve, Route,
+// Services, Version, String) are lock-free against an atomically
+// swapped immutable snapshot; mutations serialize on a writer mutex and
+// publish a new snapshot. The zero value is not usable; construct with
+// NewTable.
+type Table struct {
+	// writeMu serializes snapshot construction; readers never take it.
+	writeMu sync.Mutex
+	snap    atomic.Pointer[snapshot]
+	// anonSeq spreads anonymous (userless) requests over the split
+	// without a lock.
+	anonSeq atomic.Uint64
 }
 
 // NewTable creates an empty routing table.
 func NewTable() *Table {
-	return &Table{routes: make(map[string]*Route)}
+	t := &Table{}
+	t.snap.Store(&snapshot{routes: make(map[string]*compiledRoute)})
+	return t
 }
 
 // ErrNoRoute is returned when no route exists for the requested service.
 var ErrNoRoute = errors.New("router: no route for service")
 
+// mutate builds the next snapshot under the writer mutex: it copies the
+// current route map, lets fn edit the copy, and publishes it with a
+// bumped version. fn returning an error leaves the table untouched.
+func (t *Table) mutate(fn func(routes map[string]*compiledRoute) error) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	cur := t.snap.Load()
+	next := make(map[string]*compiledRoute, len(cur.routes)+1)
+	for k, v := range cur.routes {
+		next[k] = v
+	}
+	if err := fn(next); err != nil {
+		return err
+	}
+	t.snap.Store(&snapshot{routes: next, version: cur.version + 1})
+	return nil
+}
+
 // Set installs (or replaces) the route for route.Service. Weights are
 // normalized; invalid routes are rejected without modifying the table.
 func (t *Table) Set(route Route) error {
-	cp := route
-	cp.Rules = append([]Rule(nil), route.Rules...)
-	cp.Backends = append([]Backend(nil), route.Backends...)
-	cp.Mirrors = append([]string(nil), route.Mirrors...)
-	if err := cp.normalize(); err != nil {
+	cr, err := compileRoute(route)
+	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.routes[cp.Service] = &cp
-	t.version++
-	return nil
+	return t.mutate(func(routes map[string]*compiledRoute) error {
+		routes[cr.route.Service] = cr
+		return nil
+	})
 }
 
 // SetWeights replaces only the weighted split of an existing route,
 // keeping rules and mirrors. It is the operation gradual rollouts use to
 // shift traffic step by step.
 func (t *Table) SetWeights(service string, backends []Backend) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	route, ok := t.routes[service]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoRoute, service)
-	}
-	cp := *route
-	cp.Backends = append([]Backend(nil), backends...)
-	if err := cp.normalize(); err != nil {
-		return err
-	}
-	t.routes[service] = &cp
-	t.version++
-	return nil
+	return t.mutate(func(routes map[string]*compiledRoute) error {
+		cur, ok := routes[service]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoRoute, service)
+		}
+		next := cur.route
+		next.Backends = backends
+		cr, err := compileRoute(next)
+		if err != nil {
+			return err
+		}
+		routes[service] = cr
+		return nil
+	})
 }
 
 // SetMirrors replaces the mirror set of an existing route (dark launch
 // on/off switch).
 func (t *Table) SetMirrors(service string, mirrors []string) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	route, ok := t.routes[service]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoRoute, service)
-	}
-	cp := *route
-	cp.Mirrors = append([]string(nil), mirrors...)
-	t.routes[service] = &cp
-	t.version++
-	return nil
+	return t.mutate(func(routes map[string]*compiledRoute) error {
+		cur, ok := routes[service]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoRoute, service)
+		}
+		next := cur.route
+		next.Mirrors = mirrors
+		cr, err := compileRoute(next)
+		if err != nil {
+			return err
+		}
+		routes[service] = cr
+		return nil
+	})
 }
 
-// Remove deletes the route for service (no-op when absent).
+// Remove deletes the route for service (no-op when absent; the snapshot
+// version still advances).
 func (t *Table) Remove(service string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.routes, service)
-	t.version++
+	_ = t.mutate(func(routes map[string]*compiledRoute) error {
+		delete(routes, service)
+		return nil
+	})
 }
 
-// Route returns a copy of the route for service.
+// Route returns a deep copy of the route for service: the returned
+// Rules, Backends, and Mirrors slices are the caller's to modify and
+// never alias the live table.
 func (t *Table) Route(service string) (Route, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	route, ok := t.routes[service]
+	cr, ok := t.snap.Load().routes[service]
 	if !ok {
 		return Route{}, fmt.Errorf("%w: %s", ErrNoRoute, service)
 	}
-	return *route, nil
+	return cr.route.clone(), nil
 }
 
 // Services returns all configured service names, sorted.
 func (t *Table) Services() []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]string, 0, len(t.routes))
-	for s := range t.routes {
+	snap := t.snap.Load()
+	out := make([]string, 0, len(snap.routes))
+	for s := range snap.routes {
 		out = append(out, s)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Version returns the mutation counter.
+// Version returns the snapshot version: it bumps on every mutation, so
+// control-plane surfaces can detect routing churn.
 func (t *Table) Version() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.version
+	return t.snap.Load().version
 }
 
 // Resolve decides which version of service handles req.
 // Resolution order: first matching rule wins; otherwise the weighted
 // split assigns the user stickily by hash. Anonymous requests (empty
-// UserID) are hashed per call and are therefore not sticky.
+// UserID) draw from an atomic sequence per call and are therefore not
+// sticky.
+//
+// Resolve is the data-plane hot path: it takes no locks and performs no
+// allocations — it reads one immutable snapshot for the whole decision.
 func (t *Table) Resolve(service string, req *Request) (Decision, error) {
-	t.mu.RLock()
-	route, ok := t.routes[service]
-	t.mu.RUnlock()
-	if !ok {
+	cr := t.snap.Load().routes[service]
+	if cr == nil {
 		return Decision{}, fmt.Errorf("%w: %s", ErrNoRoute, service)
 	}
-	for _, rule := range route.Rules {
-		if rule.Match.Match(req) {
-			return Decision{Version: rule.Version, Mirrors: route.Mirrors, Rule: rule.Name}, nil
+	rules := cr.route.Rules
+	for i := range rules {
+		if rules[i].Match.Match(req) {
+			return Decision{Version: rules[i].Version, Mirrors: cr.route.Mirrors, Rule: rules[i].Name}, nil
 		}
 	}
-	point := stickyPoint(req.UserID, service, route.StickySalt)
-	var cum float64
-	version := route.Backends[len(route.Backends)-1].Version
-	for _, b := range route.Backends {
-		cum += b.Weight
-		if point < cum {
-			version = b.Version
+	point := t.stickyPoint(req.UserID, service, cr.route.StickySalt)
+	idx := len(cr.versions) - 1
+	for i, c := range cr.cum {
+		if point < c {
+			idx = i
 			break
 		}
 	}
-	return Decision{Version: version, Mirrors: route.Mirrors, Sticky: req.UserID != ""}, nil
+	return Decision{Version: cr.versions[idx], Mirrors: cr.route.Mirrors, Sticky: req.UserID != ""}, nil
 }
 
-var anonCounter struct {
-	mu sync.Mutex
-	n  uint64
-}
-
-// stickyPoint maps (user, service, salt) to [0,1).
-func stickyPoint(userID, service, salt string) float64 {
-	h := fnv.New64a()
+// stickyPoint maps (user, service, salt) to [0,1) with allocation-free
+// FNV-1a (fnvx): the hot path neither allocates a hash.Hash64 nor
+// formats strings. For identified users the byte stream is identical to
+// the previous hash.Hash64 implementation, so sticky assignments are
+// stable across this refactor. Anonymous requests hash a per-table
+// atomic sequence number instead of a user identity.
+func (t *Table) stickyPoint(userID, service, salt string) float64 {
+	h := fnvx.Offset64
 	if userID == "" {
-		anonCounter.mu.Lock()
-		anonCounter.n++
-		n := anonCounter.n
-		anonCounter.mu.Unlock()
-		fmt.Fprintf(h, "anon-%d", n)
+		n := t.anonSeq.Add(1)
+		for shift := uint(0); shift < 64; shift += 8 {
+			h = fnvx.Byte(h, byte(n>>shift))
+		}
 	} else {
-		h.Write([]byte(userID))
+		h = fnvx.String(h, userID)
 	}
-	h.Write([]byte{0})
-	h.Write([]byte(service))
-	h.Write([]byte{0})
-	h.Write([]byte(salt))
-	return float64(h.Sum64()>>11) / float64(1<<53)
+	h = fnvx.Byte(h, 0)
+	h = fnvx.String(h, service)
+	h = fnvx.Byte(h, 0)
+	h = fnvx.String(h, salt)
+	return float64(h>>11) / float64(1<<53)
 }
 
 // String renders the table for debugging and the expctl tool.
 func (t *Table) String() string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	names := make([]string, 0, len(t.routes))
-	for s := range t.routes {
+	snap := t.snap.Load()
+	names := make([]string, 0, len(snap.routes))
+	for s := range snap.routes {
 		names = append(names, s)
 	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, name := range names {
-		r := t.routes[name]
+		r := &snap.routes[name].route
 		fmt.Fprintf(&b, "%s:\n", name)
 		for _, rule := range r.Rules {
 			fmt.Fprintf(&b, "  rule %s: %s -> %s\n", rule.Name, rule.Match, rule.Version)

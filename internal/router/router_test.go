@@ -221,6 +221,116 @@ func TestSetDoesNotAliasCallerSlices(t *testing.T) {
 	}
 }
 
+// TestRouteReturnsDeepCopy is the regression test for the shallow-copy
+// bug: Route() used to return a Route whose Rules/Backends/Mirrors
+// slices aliased the live table, so callers could corrupt routing
+// state.
+func TestRouteReturnsDeepCopy(t *testing.T) {
+	tbl := NewTable()
+	route := twoArmRoute("catalog", 0.25)
+	route.Rules = []Rule{{Name: "beta", Match: GroupMatcher{Group: "beta"}, Version: "v2"}}
+	route.Mirrors = []string{"v3"}
+	if err := tbl.Set(route); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Route("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every slice of the returned copy.
+	got.Rules[0].Version = "hacked"
+	got.Rules[0].Name = "hacked"
+	got.Backends[0].Version = "hacked"
+	got.Backends[0].Weight = 99
+	got.Mirrors[0] = "hacked"
+
+	fresh, err := tbl.Route("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Rules[0].Version != "v2" || fresh.Rules[0].Name != "beta" {
+		t.Errorf("rules aliased live table: %+v", fresh.Rules[0])
+	}
+	if fresh.Backends[0].Version != "v1" || fresh.Backends[0].Weight != 0.75 {
+		t.Errorf("backends aliased live table: %+v", fresh.Backends[0])
+	}
+	if fresh.Mirrors[0] != "v3" {
+		t.Errorf("mirrors aliased live table: %v", fresh.Mirrors)
+	}
+	// Resolution still follows the uncorrupted table.
+	d, err := tbl.Resolve("catalog", &Request{UserID: "u", Groups: []expmodel.UserGroup{"beta"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != "v2" || d.Rule != "beta" {
+		t.Errorf("resolution affected by caller mutation: %+v", d)
+	}
+}
+
+// TestResolveRacesSnapshotSwap races lock-free Resolve calls against
+// continuous snapshot swaps from every mutation type. Run under -race
+// this validates the copy-on-write publication protocol; in any mode it
+// validates that readers always observe a complete, valid route.
+func TestResolveRacesSnapshotSwap(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Set(twoArmRoute("s", 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, err := tbl.Resolve("s", &Request{UserID: fmt.Sprintf("u%d-%d", g, i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if d.Version != "v1" && d.Version != "v2" {
+					t.Errorf("torn read: version %q", d.Version)
+					return
+				}
+				if _, err := tbl.Route("s"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		w := float64(i%9+1) / 10
+		if err := tbl.SetWeights("s", []Backend{
+			{Version: "v1", Weight: 1 - w}, {Version: "v2", Weight: w},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 0:
+			_ = tbl.SetMirrors("s", []string{"v2"})
+		case 1:
+			_ = tbl.SetMirrors("s", nil)
+		default:
+			route := twoArmRoute("s", w)
+			route.Rules = []Rule{{Name: "beta", Match: GroupMatcher{Group: "beta"}, Version: "v2"}}
+			if err := tbl.Set(route); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if tbl.Version() == 0 {
+		t.Error("snapshot version did not advance")
+	}
+}
+
 func TestStickySaltReshuffles(t *testing.T) {
 	tblA := NewTable()
 	tblB := NewTable()

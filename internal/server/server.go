@@ -263,6 +263,8 @@ type Observation struct {
 
 // handleIngestMetrics records a batch of observations, the ingestion
 // path real services use in place of the simulator's self-reporting.
+// The whole batch goes to the store in one RecordBatch call, so
+// same-series runs are appended under a single lock acquisition.
 func (s *Server) handleIngestMetrics(w http.ResponseWriter, r *http.Request) {
 	var batch struct {
 		Observations []Observation `json:"observations"`
@@ -290,14 +292,20 @@ func (s *Server) handleIngestMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	now := time.Now()
-	for _, o := range batch.Observations {
+	samples := make([]metrics.Sample, len(batch.Observations))
+	for i, o := range batch.Observations {
 		at := o.At
 		if at.IsZero() {
 			at = now
 		}
-		scope := metrics.Scope{Service: o.Service, Version: o.Version, Variant: o.Variant}
-		s.cfg.Store.Record(o.Metric, scope, at, o.Value)
+		samples[i] = metrics.Sample{
+			Metric: o.Metric,
+			Scope:  metrics.Scope{Service: o.Service, Version: o.Version, Variant: o.Variant},
+			At:     at,
+			Value:  o.Value,
+		}
 	}
+	s.cfg.Store.RecordBatch(samples)
 	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(batch.Observations)})
 }
 
@@ -340,8 +348,11 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 		view[svc] = rv
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"tableVersion": s.cfg.Table.Version(),
-		"services":     view,
+		"tableVersion":    s.cfg.Table.Version(),
+		"snapshotVersion": s.cfg.Table.Version(),
+		"storeSeries":     s.cfg.Store.SeriesCount(),
+		"storeShards":     s.cfg.Store.ShardCount(),
+		"services":        view,
 	})
 }
 
@@ -364,15 +375,20 @@ type EngineHealth struct {
 	BusyTime     string         `json:"busyTime"`
 }
 
-// StoreHealth reports the metric store.
+// StoreHealth reports the metric store: how many series exist and how
+// many lock shards they are spread over.
 type StoreHealth struct {
 	Series int `json:"series"`
+	Shards int `json:"shards"`
 }
 
-// RouterHealth reports the routing table.
+// RouterHealth reports the routing table. TableVersion and
+// SnapshotVersion are the same counter: the version of the immutable
+// routing snapshot currently published to the data plane.
 type RouterHealth struct {
-	Services     []string `json:"services"`
-	TableVersion uint64   `json:"tableVersion"`
+	Services        []string `json:"services"`
+	TableVersion    uint64   `json:"tableVersion"`
+	SnapshotVersion uint64   `json:"snapshotVersion"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -389,8 +405,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Evaluations:  evals,
 			BusyTime:     busy.Round(time.Microsecond).String(),
 		},
-		Store:  StoreHealth{Series: s.cfg.Store.SeriesCount()},
-		Router: RouterHealth{Services: s.cfg.Table.Services(), TableVersion: s.cfg.Table.Version()},
+		Store: StoreHealth{
+			Series: s.cfg.Store.SeriesCount(),
+			Shards: s.cfg.Store.ShardCount(),
+		},
+		Router: RouterHealth{
+			Services:        s.cfg.Table.Services(),
+			TableVersion:    s.cfg.Table.Version(),
+			SnapshotVersion: s.cfg.Table.Version(),
+		},
 	}
 	if s.demo != nil {
 		h.Demo = s.demo.Health()

@@ -405,8 +405,57 @@ func TestHealthz(t *testing.T) {
 	if h.Store.Series != 2 {
 		t.Errorf("series = %d, want 2", h.Store.Series)
 	}
+	if h.Store.Shards != e.store.ShardCount() {
+		t.Errorf("shards = %d, want %d", h.Store.Shards, e.store.ShardCount())
+	}
+	if h.Router.SnapshotVersion != e.table.Version() {
+		t.Errorf("snapshotVersion = %d, want %d", h.Router.SnapshotVersion, e.table.Version())
+	}
+	if h.Router.SnapshotVersion != h.Router.TableVersion {
+		t.Errorf("snapshotVersion %d != tableVersion %d",
+			h.Router.SnapshotVersion, h.Router.TableVersion)
+	}
 	if h.Demo != nil {
 		t.Error("no demo attached, but demo health reported")
+	}
+}
+
+// TestRoutesReportsSnapshotAndStoreCounts covers the data-plane
+// introspection fields of /v1/routes: the published routing-snapshot
+// version plus the metric store's series and shard counts.
+func TestRoutesReportsSnapshotAndStoreCounts(t *testing.T) {
+	e := newEnv(t)
+	e.seedMetrics()
+	if err := e.table.Set(router.Route{
+		Service:  "catalog",
+		Backends: []router.Backend{{Version: "v1", Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	code, body := e.do(http.MethodGet, "/v1/routes", "")
+	if code != http.StatusOK {
+		t.Fatalf("routes: %d", code)
+	}
+	var view struct {
+		TableVersion    uint64 `json:"tableVersion"`
+		SnapshotVersion uint64 `json:"snapshotVersion"`
+		StoreSeries     int    `json:"storeSeries"`
+		StoreShards     int    `json:"storeShards"`
+	}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.SnapshotVersion != e.table.Version() || view.SnapshotVersion == 0 {
+		t.Errorf("snapshotVersion = %d, want %d", view.SnapshotVersion, e.table.Version())
+	}
+	if view.TableVersion != view.SnapshotVersion {
+		t.Errorf("tableVersion %d != snapshotVersion %d", view.TableVersion, view.SnapshotVersion)
+	}
+	if view.StoreSeries != e.store.SeriesCount() || view.StoreSeries == 0 {
+		t.Errorf("storeSeries = %d, want %d", view.StoreSeries, e.store.SeriesCount())
+	}
+	if view.StoreShards != e.store.ShardCount() {
+		t.Errorf("storeShards = %d, want %d", view.StoreShards, e.store.ShardCount())
 	}
 }
 
