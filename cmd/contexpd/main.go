@@ -8,6 +8,8 @@
 //	contexpd [flags]
 //
 //	--addr :8080             listen address
+//	--data-dir ""            run-state journal directory; empty keeps
+//	                         runs in memory only (no crash recovery)
 //	--check-interval 5s      default check interval for strategies
 //	--demo                   boot the simulated shop and drive traffic
 //	--demo-rps 25            demo request rate
@@ -25,6 +27,12 @@
 //	go run ./cmd/contexpd --demo
 //	curl localhost:8080/v1/runs
 //	curl -N localhost:8080/v1/runs/demo-canary-rollout/events
+//
+// With --data-dir the daemon journals every run event to a segmented
+// write-ahead log before applying it, and replays the log at boot:
+// finished runs come back with their full audit trails, and runs a
+// crash interrupted are deterministically resumed or rolled back (see
+// docs/PERSISTENCE.md).
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
 	"contexp/internal/server"
@@ -47,6 +56,7 @@ import (
 
 type options struct {
 	addr          string
+	dataDir       string
 	checkInterval time.Duration
 	demo          bool
 	demoRPS       float64
@@ -60,6 +70,8 @@ func parseFlags(args []string) (*options, error) {
 	fs := flag.NewFlagSet("contexpd", flag.ContinueOnError)
 	opt := &options{}
 	fs.StringVar(&opt.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&opt.dataDir, "data-dir", "",
+		"directory for the run-state journal; empty keeps run state in memory only")
 	fs.DurationVar(&opt.checkInterval, "check-interval", 5*time.Second,
 		"default interval for checks that do not declare one")
 	fs.BoolVar(&opt.demo, "demo", false,
@@ -98,15 +110,49 @@ func run(args []string) error {
 
 	table := router.NewTable()
 	store := metrics.NewStore(0)
+
+	// Run state: durable (file journal + crash recovery) with
+	// --data-dir; without it runs live in process memory only, with no
+	// journal copy to maintain.
+	var jnl journal.Journal
+	if opt.dataDir != "" {
+		fileLog, err := journal.Open(opt.dataDir, journal.Options{})
+		if err != nil {
+			return err
+		}
+		defer fileLog.Close()
+		jnl = fileLog
+	}
+
 	engine, err := bifrost.NewEngine(bifrost.Config{
 		Table:                table,
 		Store:                store,
 		DefaultCheckInterval: opt.checkInterval,
+		Journal:              jnl,
 	})
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{Engine: engine, Table: table, Store: store})
+	if jnl != nil {
+		report, err := engine.Recover(jnl)
+		if err != nil {
+			return fmt.Errorf("recovering runs from %s: %w", opt.dataDir, err)
+		}
+		if len(report.Runs) > 0 || report.DecodeErrors > 0 {
+			fmt.Printf("journal %s: %s\n", opt.dataDir, report)
+			for _, rr := range report.Runs {
+				fmt.Printf("  run %q: %s\n", rr.Name, rr.Action)
+			}
+		}
+		// Retention: drop generations superseded by name reuse. Runs
+		// before the HTTP server accepts new launches, so the census
+		// cannot race a relaunch.
+		if err := bifrost.CompactJournal(jnl); err != nil {
+			return fmt.Errorf("compacting journal %s: %w", opt.dataDir, err)
+		}
+	}
+
+	srv, err := server.New(server.Config{Engine: engine, Table: table, Store: store, Journal: jnl})
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,19 @@
 package main
 
 import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
+
+	"contexp/internal/bifrost"
+	"contexp/internal/journal"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -57,6 +67,146 @@ func TestParseFlags(t *testing.T) {
 			t.Error("expected error for zero check interval")
 		}
 	})
+}
+
+func TestParseDataDirFlag(t *testing.T) {
+	opt, err := parseFlags([]string{"--data-dir", "/tmp/contexp-journal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.dataDir != "/tmp/contexp-journal" {
+		t.Errorf("dataDir = %q", opt.dataDir)
+	}
+	if opt, _ := parseFlags(nil); opt.dataDir != "" {
+		t.Errorf("default dataDir = %q, want empty (in-memory)", opt.dataDir)
+	}
+}
+
+// TestDataDirRecoveryOverHTTP is the daemon-level acceptance flow: a
+// previous process journaled a run and died mid-phase; contexpd booted
+// on the same --data-dir serves the run's full pre-crash event history
+// over /v1/runs/{name} and settles it without manual intervention.
+func TestDataDirRecoveryOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+
+	// Process one: enact a strategy against a file journal and die
+	// mid-phase (abandoned, journal synced — the kill -9 moment).
+	log1, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	engine, err := bifrost.NewEngine(bifrost.Config{
+		Table: table, Store: store, Journal: log1,
+		DefaultCheckInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategy, err := bifrost.ParseStrategy(`
+strategy "crashy" {
+    service   = "svc"
+    baseline  = "v1"
+    candidate = "v2"
+    phase "hold" {
+        practice = canary
+        traffic  = 50%
+        duration = 30s
+        on inconclusive -> rollback
+        on success -> promote
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRun, err := engine.Launch(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(liveRun.Events()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("run produced no events")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	preEvents := len(liveRun.Events())
+	if err := log1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Release the directory flock as process death would; the on-disk
+	// journal is exactly what the Sync left.
+	if err := log1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process two: the real daemon on the same data dir.
+	addr := freeAddr(t)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"--addr", addr, "--data-dir", dir})
+	}()
+
+	base := "http://" + addr
+	var detail struct {
+		Status    string `json:"status"`
+		Recovered bool   `json:"recovered"`
+		EventLog  []any  `json:"eventLog"`
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/runs/crashy")
+		if err == nil {
+			body := json.NewDecoder(resp.Body)
+			decodeErr := body.Decode(&detail)
+			resp.Body.Close()
+			if decodeErr == nil && resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never served the recovered run")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !detail.Recovered {
+		t.Error("run not marked recovered")
+	}
+	// "on inconclusive -> rollback" means the interrupted phase settles
+	// the run to rolled-back at boot, with the pre-crash history intact.
+	if detail.Status != "rolled-back" {
+		t.Errorf("status = %q, want rolled-back (settled at boot)", detail.Status)
+	}
+	if len(detail.EventLog) < preEvents {
+		t.Errorf("served %d events, pre-crash history had %d", len(detail.EventLog), preEvents)
+	}
+
+	// Shut the daemon down via its signal path.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
+// freeAddr reserves a loopback port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
 }
 
 func TestCurlHost(t *testing.T) {

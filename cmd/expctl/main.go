@@ -1,33 +1,75 @@
-// Command expctl is the operator utility for experimentation-as-code:
-// it parses and validates strategy DSL files and prints the resulting
-// state machine (the textual Fig 4.2).
+// Command expctl is the operator utility for experimentation-as-code.
+// It works on strategy files locally and on a running contexpd over
+// HTTP:
 //
-// Usage:
+//	expctl validate strategy.exp     # parse + semantic checks
+//	expctl show strategy.exp         # print the state machine
+//	expctl fmt strategy.exp          # print the canonical DSL form
+//	expctl runs [--addr URL]         # list runs on a daemon, launch order
+//	expctl events <run> [--addr URL] # print a run's full event history
 //
-//	expctl validate strategy.exp   # parse + semantic checks
-//	expctl show strategy.exp       # print the state machine
-//	expctl fmt strategy.exp        # print the canonical DSL form
+// The runs and events commands read the same durable state the daemon
+// recovers from its journal, so a run's pre-crash history is readable
+// after a restart.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
+	"time"
 
 	"contexp/internal/bifrost"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "expctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	if len(args) < 2 {
-		return fmt.Errorf("usage: expctl <validate|show> <file.exp>")
+const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl runs [--addr URL] | expctl events <run> [--addr URL]"
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("%s", usage)
 	}
-	cmd, path := args[0], args[1]
+	switch cmd := args[0]; cmd {
+	case "validate", "show", "fmt":
+		if len(args) < 2 {
+			return fmt.Errorf("%s", usage)
+		}
+		return runFile(cmd, args[1], out)
+	case "runs":
+		addr, rest, err := parseHTTPFlags("runs", args[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) > 0 {
+			return fmt.Errorf("runs takes no arguments")
+		}
+		return listRuns(addr, out)
+	case "events":
+		addr, rest, err := parseHTTPFlags("events", args[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: expctl events <run> [--addr URL]")
+		}
+		return showEvents(addr, rest[0], out)
+	default:
+		return fmt.Errorf("unknown command %q (%s)", cmd, usage)
+	}
+}
+
+func runFile(cmd, path string, out io.Writer) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -38,13 +80,135 @@ func run(args []string) error {
 	}
 	switch cmd {
 	case "validate":
-		fmt.Printf("%s: strategy %q is valid (%d phases)\n", path, strategy.Name, len(strategy.Phases))
+		fmt.Fprintf(out, "%s: strategy %q is valid (%d phases)\n", path, strategy.Name, len(strategy.Phases))
 	case "show":
-		fmt.Print(strategy.StateMachine())
+		fmt.Fprint(out, strategy.StateMachine())
 	case "fmt":
-		fmt.Print(bifrost.WriteDSL(strategy))
-	default:
-		return fmt.Errorf("unknown command %q (want validate, show, or fmt)", cmd)
+		fmt.Fprint(out, bifrost.WriteDSL(strategy))
+	}
+	return nil
+}
+
+// parseHTTPFlags handles the flags shared by the daemon-facing
+// subcommands. Flags may come before or after positional arguments.
+func parseHTTPFlags(cmd string, args []string) (addr string, rest []string, err error) {
+	fs := flag.NewFlagSet("expctl "+cmd, flag.ContinueOnError)
+	fs.StringVar(&addr, "addr", "http://localhost:8080", "contexpd base URL")
+	// Split positionals out so "expctl events myrun --addr URL" works,
+	// in both the space-separated and --addr=URL forms.
+	var flags []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--addr" || a == "-addr" {
+			flags = append(flags, args[i:min(i+2, len(args))]...)
+			i++
+			continue
+		}
+		if strings.HasPrefix(a, "--addr=") || strings.HasPrefix(a, "-addr=") {
+			flags = append(flags, a)
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if err := fs.Parse(flags); err != nil {
+		return "", nil, err
+	}
+	return addr, rest, nil
+}
+
+// getJSON fetches one API resource into v.
+func getJSON(base, path string, v any) error {
+	u, err := url.JoinPath(base, path)
+	if err != nil {
+		return fmt.Errorf("bad --addr: %w", err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, apiErr.Error)
+		}
+		return fmt.Errorf("%s: %s", u, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// runView mirrors the server's RunSummary.
+type runView struct {
+	Name      string `json:"name"`
+	Service   string `json:"service"`
+	Baseline  string `json:"baseline"`
+	Candidate string `json:"candidate"`
+	Status    string `json:"status"`
+	Phase     string `json:"phase"`
+	Events    int    `json:"events"`
+	Recovered bool   `json:"recovered"`
+}
+
+// eventView mirrors the server's EventView.
+type eventView struct {
+	At      time.Time `json:"at"`
+	Type    string    `json:"type"`
+	Phase   string    `json:"phase"`
+	Check   string    `json:"check"`
+	Outcome string    `json:"outcome"`
+	Detail  string    `json:"detail"`
+}
+
+func listRuns(addr string, out io.Writer) error {
+	var resp struct {
+		Runs []runView `json:"runs"`
+	}
+	if err := getJSON(addr, "/v1/runs", &resp); err != nil {
+		return err
+	}
+	if len(resp.Runs) == 0 {
+		fmt.Fprintln(out, "no runs")
+		return nil
+	}
+	fmt.Fprintf(out, "%-28s %-12s %-14s %-20s %7s\n", "NAME", "STATUS", "PHASE", "SERVICE", "EVENTS")
+	for _, r := range resp.Runs {
+		name := r.Name
+		if r.Recovered {
+			name += " (recovered)"
+		}
+		fmt.Fprintf(out, "%-28s %-12s %-14s %-20s %7d\n",
+			name, r.Status, r.Phase, fmt.Sprintf("%s %s->%s", r.Service, r.Baseline, r.Candidate), r.Events)
+	}
+	return nil
+}
+
+func showEvents(addr, name string, out io.Writer) error {
+	var detail struct {
+		runView
+		EventLog []eventView `json:"eventLog"`
+	}
+	if err := getJSON(addr, "/v1/runs/"+url.PathEscape(name), &detail); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "run %q (%s) — %d events\n", detail.Name, detail.Status, len(detail.EventLog))
+	for _, ev := range detail.EventLog {
+		line := fmt.Sprintf("%s  %-16s", ev.At.Format(time.RFC3339), ev.Type)
+		if ev.Phase != "" {
+			line += " phase=" + ev.Phase
+		}
+		if ev.Check != "" {
+			line += " check=" + ev.Check
+		}
+		if ev.Outcome != "" {
+			line += " outcome=" + ev.Outcome
+		}
+		if ev.Detail != "" {
+			line += " " + ev.Detail
+		}
+		fmt.Fprintln(out, line)
 	}
 	return nil
 }

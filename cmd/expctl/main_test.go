@@ -1,9 +1,18 @@
 package main
 
 import (
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"contexp/internal/bifrost"
+	"contexp/internal/journal"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+	"contexp/internal/server"
 )
 
 const validStrategy = `
@@ -31,30 +40,100 @@ func writeStrategy(t *testing.T, content string) string {
 
 func TestValidateAndShow(t *testing.T) {
 	path := writeStrategy(t, validStrategy)
-	if err := run([]string{"validate", path}); err != nil {
+	if err := run([]string{"validate", path}, io.Discard); err != nil {
 		t.Errorf("validate: %v", err)
 	}
-	if err := run([]string{"show", path}); err != nil {
+	if err := run([]string{"show", path}, io.Discard); err != nil {
 		t.Errorf("show: %v", err)
 	}
-	if err := run([]string{"fmt", path}); err != nil {
+	if err := run([]string{"fmt", path}, io.Discard); err != nil {
 		t.Errorf("fmt: %v", err)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("missing args should fail")
 	}
-	if err := run([]string{"validate", "/nonexistent/file.exp"}); err == nil {
+	if err := run([]string{"validate", "/nonexistent/file.exp"}, io.Discard); err == nil {
 		t.Error("missing file should fail")
 	}
 	bad := writeStrategy(t, `strategy "x" {`)
-	if err := run([]string{"validate", bad}); err == nil {
+	if err := run([]string{"validate", bad}, io.Discard); err == nil {
 		t.Error("invalid DSL should fail")
 	}
 	good := writeStrategy(t, validStrategy)
-	if err := run([]string{"frobnicate", good}); err == nil {
+	if err := run([]string{"frobnicate", good}, io.Discard); err == nil {
 		t.Error("unknown command should fail")
+	}
+	if err := run([]string{"events"}, io.Discard); err == nil {
+		t.Error("events without a run name should fail")
+	}
+	if err := run([]string{"runs", "extra"}, io.Discard); err == nil {
+		t.Error("runs with positional arguments should fail")
+	}
+}
+
+// startDaemon boots an in-process control plane with one finished run
+// and returns its base URL.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	jnl := journal.NewMemory()
+	engine, err := bifrost.NewEngine(bifrost.Config{Table: table, Store: store, Journal: jnl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Engine: engine, Table: table, Store: store, Journal: jnl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategy, err := bifrost.ParseStrategy(validStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := engine.Launch(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Abort()
+	<-run.Done()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunsAndEventsOverHTTP(t *testing.T) {
+	url := startDaemon(t)
+
+	var runsOut strings.Builder
+	if err := run([]string{"runs", "--addr", url}, &runsOut); err != nil {
+		t.Fatalf("runs: %v", err)
+	}
+	if !strings.Contains(runsOut.String(), "demo") || !strings.Contains(runsOut.String(), "aborted") {
+		t.Errorf("runs output missing run row:\n%s", runsOut.String())
+	}
+
+	// The --addr=URL form must work too.
+	if err := run([]string{"runs", "--addr=" + url}, io.Discard); err != nil {
+		t.Errorf("runs with --addr= form: %v", err)
+	}
+
+	var eventsOut strings.Builder
+	if err := run([]string{"events", "demo", "--addr=" + url}, &eventsOut); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	for _, want := range []string{"run-launched", "traffic-applied", "run-finished"} {
+		if !strings.Contains(eventsOut.String(), want) {
+			t.Errorf("events output missing %q:\n%s", want, eventsOut.String())
+		}
+	}
+
+	if err := run([]string{"events", "ghost", "--addr", url}, io.Discard); err == nil {
+		t.Error("events for unknown run should fail")
+	}
+	if err := run([]string{"runs", "--addr", "http://127.0.0.1:1"}, io.Discard); err == nil {
+		t.Error("unreachable daemon should fail")
 	}
 }

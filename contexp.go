@@ -25,6 +25,7 @@ import (
 	"contexp/internal/expmodel"
 	"contexp/internal/fenrir"
 	"contexp/internal/health"
+	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
 	"contexp/internal/traffic"
@@ -55,6 +56,28 @@ func ParseStrategy(src string) (*Strategy, error) { return bifrost.ParseStrategy
 
 // NewEngine creates a strategy execution engine.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return bifrost.NewEngine(cfg) }
+
+// --- Durability (run journal) ---
+
+type (
+	// RunJournal is the write-ahead log run events flow through before
+	// their side effects apply (EngineConfig.Journal).
+	RunJournal = journal.Journal
+	// FileJournalOptions parameterizes OpenFileJournal.
+	FileJournalOptions = journal.Options
+	// RecoveryReport summarizes an Engine.Recover pass.
+	RecoveryReport = bifrost.RecoveryReport
+)
+
+// NewMemoryJournal creates an in-process journal (no durability).
+func NewMemoryJournal() RunJournal { return journal.NewMemory() }
+
+// OpenFileJournal opens a segmented append-only file journal in dir;
+// pair it with Engine.Recover at startup for crash recovery (see
+// docs/PERSISTENCE.md).
+func OpenFileJournal(dir string, opts FileJournalOptions) (RunJournal, error) {
+	return journal.Open(dir, opts)
+}
 
 // --- Planning (Fenrir) ---
 

@@ -3,12 +3,14 @@ package bifrost
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"contexp/internal/clock"
 	"contexp/internal/expmodel"
+	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
 )
@@ -49,22 +51,31 @@ type EventType string
 
 // Event types.
 const (
+	// EventRunLaunched opens every run's log; its journal record carries
+	// the strategy's canonical DSL source, making the journal
+	// self-contained for recovery.
+	EventRunLaunched  EventType = "run-launched"
 	EventPhaseEntered EventType = "phase-entered"
 	EventCheckResult  EventType = "check-result"
 	EventPhaseOutcome EventType = "phase-outcome"
 	EventTransition   EventType = "transition"
-	EventRunFinished  EventType = "run-finished"
-	EventRolloutStep  EventType = "rollout-step"
+	// EventTrafficApplied is journaled immediately before a routing
+	// change is installed — the write-ahead half of enactment: after a
+	// crash the journal names the last routing intent even if the
+	// change itself was lost with the in-memory table.
+	EventTrafficApplied EventType = "traffic-applied"
+	EventRunFinished    EventType = "run-finished"
+	EventRolloutStep    EventType = "rollout-step"
 )
 
 // Event is one entry of a run's audit trail.
 type Event struct {
-	At      time.Time
-	Type    EventType
-	Phase   string
-	Check   string
-	Outcome Outcome
-	Detail  string
+	At      time.Time `json:"at"`
+	Type    EventType `json:"type"`
+	Phase   string    `json:"phase,omitempty"`
+	Check   string    `json:"check,omitempty"`
+	Outcome Outcome   `json:"outcome,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
 }
 
 // Querier is the narrow metric-query surface the engine's check
@@ -92,6 +103,12 @@ type Config struct {
 	// SampleMetric is the series counted against Phase.MinSamples
 	// (default "requests").
 	SampleMetric string
+	// Journal, when set, receives every run event as a write-ahead
+	// record before the event's side effects are applied. Replaying the
+	// journal into a fresh engine (Recover) rebuilds all runs. Nil
+	// disables journaling: runs live only in process memory, the
+	// pre-journal behavior.
+	Journal journal.Journal
 }
 
 // Engine executes live testing strategies concurrently: the Bifrost
@@ -101,8 +118,13 @@ type Config struct {
 type Engine struct {
 	cfg Config
 
-	mu   sync.Mutex
-	runs map[string]*Run
+	mu      sync.Mutex
+	runs    map[string]*Run
+	nextSeq uint64 // launch-order counter
+
+	// journalErrs counts events that could not be journaled (the event
+	// still lands in the in-memory trail; the run keeps going).
+	journalErrs atomic.Int64
 
 	// Instrumentation for the engine-performance evaluation
 	// (Figs 4.7–4.10): total time spent evaluating checks, evaluation
@@ -139,6 +161,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 type Run struct {
 	strategy *Strategy
 	engine   *Engine
+	// seq is the launch-order position (recovered runs keep their
+	// original relative order).
+	seq uint64
+	// recovered marks runs rebuilt from a journal replay.
+	recovered bool
 
 	mu       sync.Mutex
 	status   RunStatus
@@ -151,8 +178,9 @@ type Run struct {
 	cancelOnce sync.Once
 }
 
-// Launch validates the strategy, installs the all-baseline route, and
-// starts executing. Strategy names must be unique among live runs.
+// Launch validates the strategy, journals the launch, installs the
+// all-baseline route, and starts executing. Strategy names must be
+// unique among live runs.
 func (e *Engine) Launch(s *Strategy) (*Run, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -165,14 +193,27 @@ func (e *Engine) Launch(s *Strategy) (*Run, error) {
 	run := &Run{
 		strategy: s,
 		engine:   e,
+		seq:      e.nextSeq,
 		status:   StatusRunning,
 		done:     make(chan struct{}),
 		cancel:   make(chan struct{}),
 	}
+	e.nextSeq++
 	e.runs[s.Name] = run
 	e.mu.Unlock()
 
+	// Write-ahead: the launch record (carrying the strategy source) and
+	// the baseline routing intent hit the journal before the routing
+	// table changes.
+	now := e.cfg.Clock.Now()
+	run.recordWire(Event{At: now, Type: EventRunLaunched,
+		Detail: fmt.Sprintf("service=%s baseline=%s candidate=%s phases=%d",
+			s.Service, s.Baseline, s.Candidate, len(s.Phases))},
+		WriteDSL(s), 0)
+	run.record(Event{At: now, Type: EventTrafficApplied, Detail: "baseline=100%"})
 	if err := e.routeBaseline(s); err != nil {
+		run.recordWire(Event{At: e.cfg.Clock.Now(), Type: EventRunFinished,
+			Detail: "aborted; launch routing error: " + err.Error()}, "", StatusAborted)
 		e.mu.Lock()
 		delete(e.runs, s.Name)
 		e.mu.Unlock()
@@ -190,7 +231,8 @@ func (e *Engine) Get(name string) (*Run, bool) {
 	return r, ok
 }
 
-// Runs returns all runs (live and finished).
+// Runs returns all runs (live and finished) in launch order, so lists
+// read chronologically rather than alphabetically.
 func (e *Engine) Runs() []*Run {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -198,8 +240,14 @@ func (e *Engine) Runs() []*Run {
 	for _, r := range e.runs {
 		out = append(out, r)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }
+
+// JournalErrors reports how many events failed to reach the journal.
+// Non-zero means the durable trail is incomplete even though runs kept
+// executing — a health-surface red flag.
+func (e *Engine) JournalErrors() int64 { return e.journalErrs.Load() }
 
 // EngineMetrics is an instrumentation snapshot.
 type EngineMetrics struct {
@@ -293,7 +341,31 @@ func (r *Run) Abort() {
 // Strategy returns the run's strategy.
 func (r *Run) Strategy() *Strategy { return r.strategy }
 
-func (r *Run) record(ev Event) {
+// Recovered reports whether this run was rebuilt from a journal replay
+// rather than launched in this process.
+func (r *Run) Recovered() bool { return r.recovered }
+
+// record journals the event (write-ahead), then appends it to the
+// in-memory trail.
+func (r *Run) record(ev Event) { r.recordWire(ev, "", 0) }
+
+// recordWire is record plus the journal-only envelope fields: the
+// strategy source on run-launched records and the terminal status on
+// run-finished records. A journal failure counts against the engine's
+// journal-error counter but does not stop the run: enactment degrades
+// to in-memory-only rather than halting live traffic manipulation
+// mid-phase.
+func (r *Run) recordWire(ev Event, strategyDSL string, status RunStatus) {
+	e := r.engine
+	if e.cfg.Journal != nil {
+		rec, err := encodeEvent(r.strategy.Name, ev, strategyDSL, status)
+		if err == nil {
+			err = e.cfg.Journal.Append(rec)
+		}
+		if err != nil {
+			e.journalErrs.Add(1)
+		}
+	}
 	r.mu.Lock()
 	r.events = append(r.events, ev)
 	r.mu.Unlock()
@@ -302,16 +374,23 @@ func (r *Run) record(ev Event) {
 // --- execution ---
 
 func (r *Run) loop() {
+	r.loopFrom(0, make(map[string]int, len(r.strategy.Phases)))
+}
+
+// loopFrom drives the state machine starting at phase startIdx with the
+// given consumed-retry counts — the entry point shared by fresh
+// launches (index 0, empty counts) and crash recovery (the interrupted
+// phase, counts rebuilt from the journal).
+func (r *Run) loopFrom(startIdx int, retries map[string]int) {
 	defer close(r.done)
 	e := r.engine
 	s := r.strategy
-	retries := make(map[string]int, len(s.Phases))
 
-	idx := 0
+	idx := startIdx
 	for {
 		if idx < 0 || idx >= len(s.Phases) {
 			// Walked past the last phase: promote.
-			r.finish(StatusSucceeded, e.routeCandidate(s))
+			r.finish(StatusSucceeded, "")
 			return
 		}
 		r.mu.Lock()
@@ -321,7 +400,7 @@ func (r *Run) loop() {
 
 		outcome, aborted := r.executePhase(phase)
 		if aborted {
-			r.finish(StatusAborted, nil)
+			r.finish(StatusAborted, "")
 			return
 		}
 		r.record(Event{At: e.cfg.Clock.Now(), Type: EventPhaseOutcome, Phase: phase.Name, Outcome: outcome})
@@ -353,31 +432,47 @@ func (r *Run) loop() {
 		case TransitionRetry:
 			// Re-execute the same phase.
 		case TransitionRollback:
-			r.finish(StatusRolledBack, e.routeBaseline(s))
+			r.finish(StatusRolledBack, "")
 			return
 		case TransitionPromote:
-			r.finish(StatusSucceeded, e.routeCandidate(s))
+			r.finish(StatusSucceeded, "")
 			return
 		case TransitionAbort:
-			r.finish(StatusAborted, nil)
+			r.finish(StatusAborted, "")
 			return
 		default:
-			r.finish(StatusAborted, fmt.Errorf("bifrost: unknown transition %v", tr.Kind))
+			r.finish(StatusAborted, fmt.Sprintf("unknown transition %v", tr.Kind))
 			return
 		}
 	}
 }
 
-func (r *Run) finish(status RunStatus, routeErr error) {
+// finish settles the run: it journals the terminal routing intent,
+// applies it (candidate for success, baseline for rollback, untouched
+// for abort), and records the run-finished event carrying the terminal
+// status.
+func (r *Run) finish(status RunStatus, detail string) {
 	e := r.engine
-	detail := status.String()
+	var routeErr error
+	switch status {
+	case StatusSucceeded:
+		r.record(Event{At: e.cfg.Clock.Now(), Type: EventTrafficApplied, Detail: "candidate=100%"})
+		routeErr = e.routeCandidate(r.strategy)
+	case StatusRolledBack:
+		r.record(Event{At: e.cfg.Clock.Now(), Type: EventTrafficApplied, Detail: "baseline=100%"})
+		routeErr = e.routeBaseline(r.strategy)
+	}
+	d := status.String()
+	if detail != "" {
+		d += "; " + detail
+	}
 	if routeErr != nil {
-		detail += "; routing error: " + routeErr.Error()
+		d += "; routing error: " + routeErr.Error()
 	}
 	r.mu.Lock()
 	r.status = status
 	r.mu.Unlock()
-	r.record(Event{At: e.cfg.Clock.Now(), Type: EventRunFinished, Detail: detail})
+	r.recordWire(Event{At: e.cfg.Clock.Now(), Type: EventRunFinished, Detail: d}, "", status)
 }
 
 // executePhase runs one phase to its conclusion. The bool result is
@@ -390,18 +485,30 @@ func (r *Run) executePhase(p *Phase) (Outcome, bool) {
 	if p.Practice == expmodel.PracticeGradualRollout {
 		return r.executeRollout(p)
 	}
-	if err := e.applyTraffic(r.strategy, p, p.Traffic.CandidateWeight); err != nil {
+	if err := r.applyTraffic(p, p.Traffic.CandidateWeight); err != nil {
 		r.record(Event{At: now, Type: EventCheckResult, Phase: p.Name, Detail: "routing error: " + err.Error()})
 		return OutcomeFail, false
 	}
 	return r.observe(p, now, p.Duration)
 }
 
+// applyTraffic journals the routing intent as a traffic-applied event,
+// then installs it on the table — journal first, side effect second.
+func (r *Run) applyTraffic(p *Phase, weight float64) error {
+	e := r.engine
+	detail := fmt.Sprintf("candidate-weight=%.0f%%", weight*100)
+	if p.Traffic.Mirror {
+		detail = "mirror-to-candidate"
+	}
+	r.record(Event{At: e.cfg.Clock.Now(), Type: EventTrafficApplied, Phase: p.Name, Detail: detail})
+	return e.applyTraffic(r.strategy, p, weight)
+}
+
 func (r *Run) executeRollout(p *Phase) (Outcome, bool) {
 	e := r.engine
 	for _, w := range p.Traffic.Steps {
 		now := e.cfg.Clock.Now()
-		if err := e.applyTraffic(r.strategy, p, w); err != nil {
+		if err := r.applyTraffic(p, w); err != nil {
 			return OutcomeFail, false
 		}
 		r.record(Event{At: now, Type: EventRolloutStep, Phase: p.Name,

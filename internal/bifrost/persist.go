@@ -1,0 +1,82 @@
+package bifrost
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// This file defines the wire form of run events: the JSON payload the
+// engine appends to its write-ahead journal (internal/journal) before
+// applying each event's side effects. The envelope is self-contained —
+// run name, event fields, and (on run-launched / run-finished records)
+// the strategy source and terminal status — so a journal alone suffices
+// to rebuild every run (see recover.go).
+
+// wireRecord is the journaled form of one run event.
+type wireRecord struct {
+	// Run names the run the event belongs to.
+	Run string `json:"run"`
+	// V is the record format version.
+	V  int       `json:"v"`
+	At time.Time `json:"at"`
+	// Type is the event type; Phase, Check, Outcome, and Detail mirror
+	// Event.
+	Type    EventType `json:"type"`
+	Phase   string    `json:"phase,omitempty"`
+	Check   string    `json:"check,omitempty"`
+	Outcome Outcome   `json:"outcome,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+	// Strategy carries the canonical DSL source on run-launched records,
+	// making the journal self-contained: recovery reparses it instead of
+	// needing a second store.
+	Strategy string `json:"strategy,omitempty"`
+	// Status carries the terminal state on run-finished records.
+	Status RunStatus `json:"status,omitempty"`
+}
+
+// wireVersion is bumped when the record schema changes incompatibly.
+const wireVersion = 1
+
+// encodeEvent marshals one event into its journal record.
+func encodeEvent(run string, ev Event, strategyDSL string, status RunStatus) ([]byte, error) {
+	return json.Marshal(wireRecord{
+		Run:      run,
+		V:        wireVersion,
+		At:       ev.At,
+		Type:     ev.Type,
+		Phase:    ev.Phase,
+		Check:    ev.Check,
+		Outcome:  ev.Outcome,
+		Detail:   ev.Detail,
+		Strategy: strategyDSL,
+		Status:   status,
+	})
+}
+
+// decodeRecord unmarshals one journal record.
+func decodeRecord(rec []byte) (wireRecord, error) {
+	var wr wireRecord
+	if err := json.Unmarshal(rec, &wr); err != nil {
+		return wireRecord{}, fmt.Errorf("bifrost: undecodable journal record: %w", err)
+	}
+	if wr.Run == "" || wr.Type == "" {
+		return wireRecord{}, fmt.Errorf("bifrost: journal record without run or type")
+	}
+	if wr.V > wireVersion {
+		return wireRecord{}, fmt.Errorf("bifrost: journal record version %d newer than supported %d", wr.V, wireVersion)
+	}
+	return wr, nil
+}
+
+// event converts the wire form back to the in-memory form.
+func (wr wireRecord) event() Event {
+	return Event{
+		At:      wr.At,
+		Type:    wr.Type,
+		Phase:   wr.Phase,
+		Check:   wr.Check,
+		Outcome: wr.Outcome,
+		Detail:  wr.Detail,
+	}
+}

@@ -1,0 +1,332 @@
+package bifrost
+
+import (
+	"fmt"
+
+	"contexp/internal/journal"
+)
+
+// RecoveredRun is one run rebuilt by Recover.
+type RecoveredRun struct {
+	// Name is the run (strategy) name.
+	Name string
+	// Status is the run's state after recovery: a terminal status, or
+	// StatusRunning for a resumed run.
+	Status RunStatus
+	// Action says what recovery did: "finished" (terminal state
+	// replayed), "resumed at phase X", "rolled back: ...", or a skip
+	// reason.
+	Action string
+}
+
+// RecoveryReport summarizes a Recover pass.
+type RecoveryReport struct {
+	// Finished counts runs replayed into a terminal state they had
+	// already reached before the restart.
+	Finished int
+	// Resumed counts in-flight runs that re-entered a phase.
+	Resumed int
+	// Settled counts in-flight runs recovery drove to a terminal state
+	// (rollback, promote, or abort per the strategy's transitions).
+	Settled int
+	// Skipped counts runs that could not be rebuilt (undecodable
+	// strategy, name collision).
+	Skipped int
+	// DecodeErrors counts journal records that did not decode as run
+	// events.
+	DecodeErrors int
+	// Runs details every run in launch order.
+	Runs []RecoveredRun
+}
+
+// String renders the report one line per category.
+func (rep *RecoveryReport) String() string {
+	return fmt.Sprintf("recovered %d runs (%d finished, %d resumed, %d settled, %d skipped, %d decode errors)",
+		len(rep.Runs), rep.Finished, rep.Resumed, rep.Settled, rep.Skipped, rep.DecodeErrors)
+}
+
+// Recover replays a write-ahead journal into the engine at startup,
+// rebuilding every run the previous process journaled:
+//
+//   - Runs whose run-finished record is present come back in their
+//     terminal state with their full event history, and their terminal
+//     routing (candidate for succeeded, baseline for rolled-back) is
+//     re-installed on the table, which an in-memory table lost with the
+//     process.
+//   - In-flight runs — launched but never finished — are settled
+//     deterministically. The crash cut the interrupted phase's
+//     observation short, so the phase concludes as inconclusive and the
+//     strategy's own conditional chaining decides what happens next:
+//     retry re-enters the interrupted phase (counting the crash against
+//     MaxRetries; exhausted retries fall through to the failure
+//     transition), next/goto resume at the following phase, and
+//     rollback/promote/abort settle the run immediately, recording why.
+//
+// Settlement decisions are themselves journaled (through cfg.Journal,
+// normally the same journal), so recovering twice from the same log is
+// idempotent: the second pass finds the terminal records the first one
+// wrote. Recover must run before the engine launches new runs.
+func (e *Engine) Recover(j journal.Journal) (*RecoveryReport, error) {
+	type runLog struct {
+		name       string
+		dsl        string
+		launched   bool
+		events     []Event
+		status     RunStatus // terminal status; 0 while in-flight
+		superseded bool      // an equally-named later run replaced it
+	}
+	rep := &RecoveryReport{}
+	var order []*runLog
+	byName := make(map[string]*runLog)
+
+	err := j.Replay(func(rec []byte) error {
+		wr, err := decodeRecord(rec)
+		if err != nil {
+			rep.DecodeErrors++
+			return nil // tolerate foreign/corrupt records
+		}
+		rl := byName[wr.Run]
+		if rl == nil || (wr.Type == EventRunLaunched && rl.launched) {
+			// First sighting, or a relaunch reusing a finished run's
+			// name: the newer generation supersedes the older log.
+			if rl != nil {
+				rl.superseded = true
+			}
+			rl = &runLog{name: wr.Run}
+			byName[wr.Run] = rl
+			order = append(order, rl)
+		}
+		if wr.Type == EventRunLaunched {
+			rl.launched = true
+			rl.dsl = wr.Strategy
+		}
+		if wr.Type == EventRunFinished {
+			rl.status = wr.Status
+		}
+		rl.events = append(rl.events, wr.event())
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bifrost: journal replay: %w", err)
+	}
+
+	for _, rl := range order {
+		if rl.superseded {
+			continue
+		}
+		report := func(status RunStatus, action string) {
+			rep.Runs = append(rep.Runs, RecoveredRun{Name: rl.name, Status: status, Action: action})
+		}
+		if !rl.launched || rl.dsl == "" {
+			rep.Skipped++
+			report(0, "skipped: no launch record with strategy source")
+			continue
+		}
+		s, err := ParseStrategy(rl.dsl)
+		if err != nil {
+			rep.Skipped++
+			report(0, fmt.Sprintf("skipped: strategy source unparseable: %v", err))
+			continue
+		}
+
+		run := &Run{
+			strategy:  s,
+			engine:    e,
+			recovered: true,
+			status:    StatusRunning,
+			events:    rl.events,
+			done:      make(chan struct{}),
+			cancel:    make(chan struct{}),
+		}
+		e.mu.Lock()
+		if _, exists := e.runs[s.Name]; exists {
+			e.mu.Unlock()
+			rep.Skipped++
+			report(0, "skipped: a run with this name already exists")
+			continue
+		}
+		run.seq = e.nextSeq
+		e.nextSeq++
+		e.runs[s.Name] = run
+		e.mu.Unlock()
+
+		if rl.status != 0 {
+			// Terminal before the crash: restore state and routing, no
+			// new events.
+			run.mu.Lock()
+			run.status = rl.status
+			run.mu.Unlock()
+			close(run.done)
+			switch rl.status {
+			case StatusSucceeded:
+				_ = e.routeCandidate(s)
+			case StatusRolledBack:
+				_ = e.routeBaseline(s)
+			}
+			rep.Finished++
+			report(rl.status, "finished")
+			continue
+		}
+		e.settleInterrupted(run, rl.events, rep, report)
+	}
+	return rep, nil
+}
+
+// settleInterrupted decides what happens to a run the previous process
+// left in flight, journaling the decision as regular run events.
+func (e *Engine) settleInterrupted(run *Run, events []Event, rep *RecoveryReport,
+	report func(RunStatus, string)) {
+	s := run.strategy
+	now := e.cfg.Clock.Now()
+
+	// The interrupted phase is the last one entered.
+	idx, lastEntered := 0, -1
+	for i, ev := range events {
+		if ev.Type == EventPhaseEntered {
+			if pi := s.phaseIndex(ev.Phase); pi >= 0 {
+				idx = pi
+				lastEntered = i
+			}
+		}
+	}
+	// Rebuild every phase's consumed-retry count from the journaled
+	// retry transitions — not from phase-entered counts, which also
+	// rise on legitimate goto revisits and would wrongly exhaust
+	// MaxRetries for phases in goto loops.
+	retries := make(map[string]int, len(s.Phases))
+	for _, ev := range events {
+		if ev.Type == EventTransition &&
+			(ev.Detail == "retry" || ev.Detail == "crash-recovery: retry") {
+			retries[ev.Phase]++
+		}
+	}
+
+	resume := func(at int) {
+		run.record(Event{At: now, Type: EventTransition, Phase: phaseName(s, idx),
+			Detail: "crash-recovery: resuming at phase " + phaseName(s, at)})
+		rep.Resumed++
+		report(StatusRunning, "resumed at phase "+phaseName(s, at))
+		go run.loopFrom(at, retries)
+	}
+
+	if lastEntered < 0 {
+		// Crashed between launch and the first phase: start from the top.
+		resume(0)
+		return
+	}
+
+	phase := &s.Phases[idx]
+	// If the phase's conclusion survived in the journal — a
+	// phase-outcome record after its last entry — the crash only
+	// interrupted the transition's application, not the observation.
+	// Honor the recorded outcome instead of re-deciding: a journaled
+	// failure must never be softened into an inconclusive re-entry (or
+	// worse, a promote) just because the run-finished record was lost
+	// in the fsync window.
+	outcome := Outcome(0)
+	for _, ev := range events[lastEntered+1:] {
+		if ev.Type == EventPhaseOutcome && ev.Phase == phase.Name {
+			outcome = ev.Outcome
+		}
+	}
+	why := fmt.Sprintf("phase had concluded %s before restart", outcome)
+	if outcome == 0 {
+		outcome = OutcomeInconclusive
+		why = "phase interrupted by restart"
+		run.record(Event{At: now, Type: EventPhaseOutcome, Phase: phase.Name,
+			Outcome: OutcomeInconclusive, Detail: "interrupted by restart (crash recovery)"})
+	}
+	// Resolve the transition exactly as the run loop would have.
+	var tr Transition
+	switch outcome {
+	case OutcomePass:
+		tr = phase.successTransition()
+	case OutcomeFail:
+		tr = phase.failureTransition()
+	default:
+		tr = phase.inconclusiveTransition()
+		if tr.Kind == TransitionRetry {
+			// The crash re-entry consumes one retry, on top of the ones
+			// the journal already records.
+			if retries[phase.Name]+1 > phase.maxRetries() {
+				tr = phase.failureTransition()
+				why = fmt.Sprintf("%s; retries exhausted (%d of %d consumed)",
+					why, retries[phase.Name], phase.maxRetries())
+			} else {
+				retries[phase.Name]++
+			}
+		}
+	}
+	run.record(Event{At: now, Type: EventTransition, Phase: phase.Name,
+		Detail: "crash-recovery: " + describeTransition(tr)})
+
+	settle := func(status RunStatus) {
+		run.finish(status, "crash recovery: "+why)
+		close(run.done)
+		rep.Settled++
+		report(status, fmt.Sprintf("%s: %s", status, why))
+	}
+	switch tr.Kind {
+	case TransitionRetry:
+		resume(idx)
+	case TransitionNext:
+		resume(idx + 1)
+	case TransitionGoto:
+		resume(s.phaseIndex(tr.Target))
+	case TransitionRollback:
+		settle(StatusRolledBack)
+	case TransitionPromote:
+		settle(StatusSucceeded)
+	default: // TransitionAbort and anything unknown
+		settle(StatusAborted)
+	}
+}
+
+// phaseName names a phase index, tolerating out-of-range (the promote
+// position past the last phase).
+func phaseName(s *Strategy, idx int) string {
+	if idx < 0 || idx >= len(s.Phases) {
+		return "(promote)"
+	}
+	return s.Phases[idx].Name
+}
+
+// CompactJournal drops journal generations that a relaunch of the same
+// run name superseded, keeping each run's latest generation (and its
+// full event history) intact. Undecodable records are dropped too.
+// It is a no-op on journals without compaction support.
+//
+// Call it while no new strategies can launch — contexpd runs it at
+// boot, after Recover and before serving — since a launch reusing an
+// existing run name between the generation census and the rewrite
+// would shift which generation is "latest".
+func CompactJournal(j journal.Journal) error {
+	c, ok := j.(journal.Compactor)
+	if !ok {
+		return nil
+	}
+	// Census: how many generations (run-launched records) each run has.
+	total := make(map[string]int)
+	if err := j.Replay(func(rec []byte) error {
+		if wr, err := decodeRecord(rec); err == nil && wr.Type == EventRunLaunched {
+			total[wr.Run]++
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Keep only records belonging to each run's final generation. The
+	// filter runs in append order, so counting run-launched sightings
+	// identifies the generation a record belongs to.
+	seen := make(map[string]int)
+	return c.Compact(func(rec []byte) bool {
+		wr, err := decodeRecord(rec)
+		if err != nil {
+			return false
+		}
+		if wr.Type == EventRunLaunched {
+			seen[wr.Run]++
+		}
+		return seen[wr.Run] == total[wr.Run]
+	})
+}

@@ -1,0 +1,574 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Record framing: every record is written as an 8-byte header followed
+// by the payload.
+//
+//	offset  size  field
+//	0       4     payload length, little endian
+//	4       4     CRC-32C (Castagnoli) of the payload
+//	8       n     payload
+//
+// A record is valid only when its length is in (0, MaxRecord] and the
+// payload checksum matches. Anything else — a short header, a short
+// payload, a zero or oversized length, a checksum mismatch — marks the
+// point where a crash tore an in-flight append; the segment is
+// truncated there on replay and the remainder ignored.
+const (
+	frameHeaderSize = 8
+	// MaxRecord bounds a single record's payload. The bound keeps a
+	// corrupted length field from turning replay into a multi-gigabyte
+	// allocation.
+	MaxRecord = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options parameterizes a FileLog.
+type Options struct {
+	// SegmentBytes is the size at which the active segment is sealed
+	// and a new one started (default 4 MiB).
+	SegmentBytes int64
+	// SyncInterval is the fsync batching window: appends mark the log
+	// dirty and a background syncer flushes to stable storage at this
+	// cadence, so one fsync amortizes over every append in the window.
+	// Zero defaults to 2ms. Negative syncs on every append (durable but
+	// slow: each append pays a full fsync).
+	SyncInterval time.Duration
+}
+
+const (
+	defaultSegmentBytes = 4 << 20
+	defaultSyncInterval = 2 * time.Millisecond
+	segmentSuffix       = ".wal"
+)
+
+// FileLog is a durable Journal: an append-only log segmented across
+// numbered files in one directory. Records are CRC-framed, fsyncs are
+// batched (Options.SyncInterval), segments rotate at a size threshold,
+// and Compact rewrites the log keeping only records a filter retains.
+//
+// Opening a directory always starts a fresh active segment, so a tail
+// torn by a crash is never appended after; replay drops the torn tail
+// and the log continues in the next segment.
+type FileLog struct {
+	dir  string
+	opts Options
+
+	// lock holds an exclusive flock on the directory's lock file for
+	// the journal's lifetime, so two processes cannot interleave
+	// segments on the same --data-dir.
+	lock *os.File
+
+	mu      sync.Mutex
+	active  *os.File
+	w       *bufio.Writer
+	size    int64 // bytes written to the active segment
+	seq     uint64
+	dirty   bool
+	closed  bool
+	lastErr error // sticky background sync failure
+
+	appended    uint64 // records appended by this process
+	preexisting uint64 // records found on disk, counted by the first Replay
+	counted     bool
+	bytes       uint64
+	segCount    int
+	syncs       uint64
+	truncations uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+var _ Journal = (*FileLog)(nil)
+var _ Stater = (*FileLog)(nil)
+var _ Compactor = (*FileLog)(nil)
+
+// Open creates or opens a file journal in dir (created if missing).
+// Existing segments are preserved and replayed in order; new appends go
+// to a fresh segment.
+func Open(dir string, opts Options) (*FileLog, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SyncInterval == 0 {
+		opts.SyncInterval = defaultSyncInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", dir, err)
+	}
+	f := &FileLog{
+		dir:  dir,
+		opts: opts,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	// Exclusive directory lock: a second daemon pointed at the same
+	// --data-dir must fail fast instead of interleaving segments with a
+	// live writer. flock is released automatically if the process dies,
+	// so a kill -9 never wedges the next boot.
+	lock, err := os.OpenFile(filepath.Join(dir, "journal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("journal: %s is in use by another process: %w", dir, err)
+	}
+	f.lock = lock
+
+	segs, err := f.segments()
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	for _, seg := range segs {
+		info, err := os.Stat(seg.path)
+		if err != nil {
+			lock.Close()
+			return nil, fmt.Errorf("journal: stat %s: %w", seg.path, err)
+		}
+		f.bytes += uint64(info.Size())
+		if seg.seq >= f.seq {
+			f.seq = seg.seq
+		}
+	}
+	f.segCount = len(segs)
+	if err := f.openSegment(f.seq + 1); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	if f.opts.SyncInterval > 0 {
+		go f.syncLoop()
+	} else {
+		close(f.done)
+	}
+	return f, nil
+}
+
+// Dir returns the journal directory.
+func (f *FileLog) Dir() string { return f.dir }
+
+type segment struct {
+	seq  uint64
+	path string
+}
+
+// segments lists the on-disk segment files in sequence order.
+func (f *FileLog) segments() ([]segment, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading %s: %w", f.dir, err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			continue // not a segment file
+		}
+		segs = append(segs, segment{seq: seq, path: filepath.Join(f.dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+func (f *FileLog) segmentPath(seq uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("%08d%s", seq, segmentSuffix))
+}
+
+// openSegment seals the current active segment (if any) and starts a
+// new one. Caller holds f.mu (or is constructing the log).
+func (f *FileLog) openSegment(seq uint64) error {
+	if f.active != nil {
+		if err := f.w.Flush(); err != nil {
+			return err
+		}
+		if err := f.active.Sync(); err != nil {
+			return err
+		}
+		if err := f.active.Close(); err != nil {
+			return err
+		}
+		f.syncs++
+	}
+	file, err := os.OpenFile(f.segmentPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: opening segment: %w", err)
+	}
+	// Fsync the directory so the new segment's entry survives a crash:
+	// without it, records reported durable could vanish with the file.
+	if err := syncDir(f.dir); err != nil {
+		file.Close()
+		return err
+	}
+	f.active = file
+	f.w = bufio.NewWriter(file)
+	f.size = 0
+	f.seq = seq
+	f.segCount++
+	return nil
+}
+
+// syncDir fsyncs a directory so entry mutations (segment creation,
+// compaction renames and removals) reach stable storage.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: opening dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Append implements Journal.
+func (f *FileLog) Append(rec []byte) error {
+	if len(rec) == 0 {
+		return errors.New("journal: empty record")
+	}
+	if len(rec) > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds limit %d", len(rec), MaxRecord)
+	}
+	var header [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(rec, castagnoli))
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("journal: appending to closed journal")
+	}
+	if f.lastErr != nil {
+		return f.lastErr
+	}
+	if _, err := f.w.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := f.w.Write(rec); err != nil {
+		return err
+	}
+	n := int64(frameHeaderSize + len(rec))
+	f.size += n
+	f.bytes += uint64(n)
+	f.appended++
+	f.dirty = true
+	if f.opts.SyncInterval < 0 {
+		if err := f.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if f.size >= f.opts.SegmentBytes {
+		return f.openSegment(f.seq + 1)
+	}
+	return nil
+}
+
+// syncLoop is the background fsync batcher.
+func (f *FileLog) syncLoop() {
+	defer close(f.done)
+	ticker := time.NewTicker(f.opts.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+			f.mu.Lock()
+			if !f.closed && f.dirty {
+				if err := f.syncLocked(); err != nil && f.lastErr == nil {
+					f.lastErr = err
+				}
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// syncLocked flushes the write buffer and fsyncs the active segment.
+// Caller holds f.mu.
+func (f *FileLog) syncLocked() error {
+	if err := f.w.Flush(); err != nil {
+		return err
+	}
+	if err := f.active.Sync(); err != nil {
+		return err
+	}
+	f.dirty = false
+	f.syncs++
+	return nil
+}
+
+// Sync implements Journal.
+func (f *FileLog) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	if f.lastErr != nil {
+		return f.lastErr
+	}
+	return f.syncLocked()
+}
+
+// Close implements Journal: it stops the syncer, flushes, and seals the
+// active segment.
+func (f *FileLog) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	err := f.syncLocked()
+	f.closed = true
+	closeErr := f.active.Close()
+	lockErr := f.lock.Close() // releases the flock
+	f.mu.Unlock()
+	close(f.stop)
+	<-f.done
+	if err == nil {
+		err = closeErr
+	}
+	if err == nil {
+		err = lockErr
+	}
+	return err
+}
+
+// Replay implements Journal. The boundary (segment list and active
+// segment size) is captured under the lock, then the files are read
+// outside it, so the callback may Append to this same journal — the
+// write-ahead recovery pattern — without deadlocking; those appends are
+// not part of the replay.
+//
+// A torn record (short frame, bad length, checksum mismatch) truncates
+// its segment at that point: the rest of the segment is skipped and
+// replay continues with the next segment. This is the crash shape —
+// each process generation appends to its own segment, so a tear only
+// ever hides records that were being written when that generation died.
+func (f *FileLog) Replay(fn func(rec []byte) error) error {
+	f.mu.Lock()
+	if err := f.w.Flush(); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	segs, err := f.segments()
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	activeSeq, activeSize := f.seq, f.size
+	appendedAtBoundary := f.appended
+	f.mu.Unlock()
+
+	var replayed uint64
+	for _, seg := range segs {
+		if seg.seq > activeSeq {
+			continue // created after the boundary
+		}
+		limit := int64(-1)
+		if seg.seq == activeSeq {
+			limit = activeSize
+		}
+		truncated, err := replaySegment(seg.path, limit, func(rec []byte) error {
+			replayed++
+			return fn(rec)
+		})
+		if err != nil {
+			return err
+		}
+		if truncated {
+			f.mu.Lock()
+			f.truncations++
+			f.mu.Unlock()
+		}
+	}
+	// A completed replay saw every record up to the boundary —
+	// preexisting ones plus this process's appends. That settles the
+	// preexisting count without Open having to scan the log twice (the
+	// daemon replays at boot anyway, for recovery).
+	f.mu.Lock()
+	if !f.counted {
+		f.preexisting = replayed - appendedAtBoundary
+		f.counted = true
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// replaySegment reads one segment, calling fn per valid record. limit
+// caps the bytes read (-1 = whole file). The bool result reports
+// whether a torn tail was dropped.
+func replaySegment(path string, limit int64, fn func(rec []byte) error) (bool, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("journal: opening segment: %w", err)
+	}
+	defer file.Close()
+	var src io.Reader = file
+	if limit >= 0 {
+		src = io.LimitReader(file, limit)
+	}
+	r := bufio.NewReader(src)
+	var header [frameHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return false, nil // clean end of segment
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return true, nil // torn header
+			}
+			return false, err
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		if length == 0 || length > MaxRecord {
+			return true, nil // corrupt length: torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return true, nil // torn payload
+			}
+			return false, err
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(header[4:8]) {
+			return true, nil // corrupt payload: torn tail
+		}
+		if err := fn(payload); err != nil {
+			return false, err
+		}
+	}
+}
+
+// Compact rewrites the journal keeping only the records keep returns
+// true for: the retention hook callers use to drop events of runs that
+// no longer need replaying. The kept records land in one fresh segment
+// (fsynced before the old segments are removed), and appends continue
+// in a new active segment after it. keep must not touch the journal.
+func (f *FileLog) Compact(keep func(rec []byte) bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("journal: compacting closed journal")
+	}
+	if err := f.w.Flush(); err != nil {
+		return err
+	}
+	segs, err := f.segments()
+	if err != nil {
+		return err
+	}
+
+	// Write survivors into the next segment via a temp file.
+	tmpPath := filepath.Join(f.dir, "compact.tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating compaction file: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	var kept, keptBytes uint64
+	for _, seg := range segs {
+		_, err := replaySegment(seg.path, -1, func(rec []byte) error {
+			if !keep(rec) {
+				return nil
+			}
+			var header [frameHeaderSize]byte
+			binary.LittleEndian.PutUint32(header[0:4], uint32(len(rec)))
+			binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(rec, castagnoli))
+			if _, err := w.Write(header[:]); err != nil {
+				return err
+			}
+			if _, err := w.Write(rec); err != nil {
+				return err
+			}
+			kept++
+			keptBytes += uint64(frameHeaderSize + len(rec))
+			return nil
+		})
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+
+	// Publish: rename into place as the next segment, drop the old
+	// segments, fsync the directory so the swap is crash-durable, and
+	// continue in a fresh active segment after it.
+	compactSeq := f.seq + 1
+	if err := os.Rename(tmpPath, f.segmentPath(compactSeq)); err != nil {
+		return err
+	}
+	if err := f.active.Close(); err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("journal: removing compacted segment: %w", err)
+		}
+	}
+	if err := syncDir(f.dir); err != nil {
+		return err
+	}
+	f.preexisting = kept
+	f.counted = true
+	f.appended = 0
+	f.bytes = keptBytes
+	f.segCount = 1 // the compacted segment; openSegment adds the active one
+	f.active = nil // openSegment must not re-seal the closed file
+	f.w = nil
+	f.seq = compactSeq
+	return f.openSegment(compactSeq + 1)
+}
+
+// Stats implements Stater. It reads in-memory counters only — no
+// directory I/O under the mutex Append contends on.
+func (f *FileLog) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Stats{
+		Records:     f.preexisting + f.appended,
+		Bytes:       f.bytes,
+		Segments:    f.segCount,
+		Syncs:       f.syncs,
+		Truncations: f.truncations,
+	}
+}

@@ -117,6 +117,16 @@ func (h *HTTPApplication) ServiceURL(service string) string {
 	return h.frontURL[service]
 }
 
+// MirrorDrops sums the dark-launch mirror jobs every proxy dropped
+// because its mirror queue was full.
+func (h *HTTPApplication) MirrorDrops() uint64 {
+	var total uint64
+	for _, p := range h.proxies {
+		total += p.MirrorDrops()
+	}
+	return total
+}
+
 // Close shuts every server and proxy down.
 func (h *HTTPApplication) Close() {
 	for _, srv := range h.servers {

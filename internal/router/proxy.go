@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"contexp/internal/expmodel"
 )
@@ -35,6 +36,10 @@ type Proxy struct {
 	mirror chan mirrorJob
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	// mirrorDrops counts mirror jobs discarded because the queue was
+	// full: dark-launch coverage silently lost unless surfaced.
+	mirrorDrops atomic.Uint64
 }
 
 type mirrorJob struct {
@@ -68,6 +73,12 @@ func (p *Proxy) Close() {
 	close(p.mirror)
 	p.wg.Wait()
 }
+
+// MirrorDrops reports how many dark-launch mirror jobs were discarded
+// because the mirror queue was full. A growing value means the
+// candidate sees less traffic than the baseline, biasing dark-launch
+// sample counts.
+func (p *Proxy) MirrorDrops() uint64 { return p.mirrorDrops.Load() }
 
 // RegisterUpstream maps a version to its backend base URL.
 func (p *Proxy) RegisterUpstream(version, baseURL string) error {
@@ -122,7 +133,9 @@ func (p *Proxy) enqueueMirrors(r *http.Request, mirrors []string) {
 		case p.mirror <- job:
 		default:
 			// Mirror queue full: dark-launch traffic is best effort; the
-			// primary path must never block on it.
+			// primary path must never block on it. The drop is counted so
+			// /healthz can reveal how much dark-launch coverage was lost.
+			p.mirrorDrops.Add(1)
 		}
 	}
 }

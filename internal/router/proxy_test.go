@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -203,5 +205,29 @@ func TestProxySetsVersionHeader(t *testing.T) {
 	resp.Body.Close()
 	if gotVersion.Load() != "v7" {
 		t.Errorf("X-Experiment-Version = %v", gotVersion.Load())
+	}
+}
+
+func TestProxyCountsMirrorDrops(t *testing.T) {
+	// A worker-less proxy with a tiny mirror queue: the first job fits,
+	// everything past it must be dropped — and counted, since silent
+	// drops bias dark-launch sample counts.
+	p := &Proxy{
+		service:   "s",
+		table:     NewTable(),
+		upstreams: make(map[string]*httputil.ReverseProxy),
+		targets:   make(map[string]*url.URL),
+		mirror:    make(chan mirrorJob, 1),
+		closed:    make(chan struct{}),
+	}
+	req := httptest.NewRequest(http.MethodGet, "/checkout", nil)
+	p.enqueueMirrors(req, []string{"v2"})
+	if got := p.MirrorDrops(); got != 0 {
+		t.Fatalf("drops after first enqueue = %d, want 0", got)
+	}
+	p.enqueueMirrors(req, []string{"v2"})
+	p.enqueueMirrors(req, []string{"v2", "v3"})
+	if got := p.MirrorDrops(); got != 3 {
+		t.Errorf("drops = %d, want 3 (queue capacity 1)", got)
 	}
 }

@@ -159,6 +159,13 @@ func StartDemo(engine *bifrost.Engine, table *router.Table, store *metrics.Store
 			d.Stop()
 			return nil, fmt.Errorf("server: parsing demo strategy: %w", err)
 		}
+		// A live run of this strategy may already exist — typically one
+		// recovered from a --data-dir journal after a mid-demo restart.
+		// That run IS the demo enactment; keep driving traffic at it
+		// instead of failing the boot on a name collision.
+		if existing, ok := engine.Get(strategy.Name); ok && existing.Status() == bifrost.StatusRunning {
+			return d, nil
+		}
 		if _, err := engine.Launch(strategy); err != nil {
 			d.Stop()
 			return nil, fmt.Errorf("server: launching demo strategy: %w", err)
@@ -245,6 +252,10 @@ type DemoHealth struct {
 	EntryURL        string   `json:"entryURL"`
 	RequestsServed  int64    `json:"requestsServed"`
 	TransportErrors int64    `json:"transportErrors"`
+	// MirrorDrops counts dark-launch mirror jobs the routing proxies
+	// discarded on full queues: lost candidate coverage that would
+	// otherwise be invisible.
+	MirrorDrops uint64 `json:"mirrorDrops"`
 }
 
 // Health reports the demo's state.
@@ -254,5 +265,6 @@ func (d *Demo) Health() *DemoHealth {
 		EntryURL:        d.entryURL,
 		RequestsServed:  d.requests.Load(),
 		TransportErrors: d.transportErrors.Load(),
+		MirrorDrops:     d.app.MirrorDrops(),
 	}
 }

@@ -27,11 +27,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strings"
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
 )
@@ -50,6 +50,9 @@ type Config struct {
 	EventPollInterval time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Journal, when set, is the engine's write-ahead journal; /healthz
+	// reports its size and sync activity. Optional.
+	Journal journal.Journal
 }
 
 // Server serves the control-plane API.
@@ -103,6 +106,9 @@ type RunSummary struct {
 	Phase     string   `json:"phase,omitempty"`
 	Phases    []string `json:"phases"`
 	Events    int      `json:"events"`
+	// Recovered marks runs rebuilt from the write-ahead journal after a
+	// restart rather than launched by this process.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // RunDetail adds the audit trail and the rendered state machine.
@@ -151,6 +157,7 @@ func runSummary(r *bifrost.Run) RunSummary {
 		Phase:     r.CurrentPhase(),
 		Phases:    phases,
 		Events:    len(r.Events()),
+		Recovered: r.Recovered(),
 	}
 }
 
@@ -203,13 +210,15 @@ func (s *Server) handleSubmitStrategy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, runSummary(run))
 }
 
+// handleListRuns lists runs in launch order (Engine.Runs already sorts
+// by launch sequence), so the list reads as a chronology — including
+// runs recovered from the journal, which keep their pre-restart order.
 func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	runs := s.cfg.Engine.Runs()
 	out := make([]RunSummary, 0, len(runs))
 	for _, run := range runs {
 		out = append(out, runSummary(run))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
 }
 
@@ -360,12 +369,13 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 // pattern of health endpoints that expose per-component detail rather
 // than a bare status code.
 type Health struct {
-	Status string       `json:"status"`
-	Uptime string       `json:"uptime"`
-	Engine EngineHealth `json:"engine"`
-	Store  StoreHealth  `json:"store"`
-	Router RouterHealth `json:"router"`
-	Demo   *DemoHealth  `json:"demo,omitempty"`
+	Status  string         `json:"status"`
+	Uptime  string         `json:"uptime"`
+	Engine  EngineHealth   `json:"engine"`
+	Store   StoreHealth    `json:"store"`
+	Router  RouterHealth   `json:"router"`
+	Journal *JournalHealth `json:"journal,omitempty"`
+	Demo    *DemoHealth    `json:"demo,omitempty"`
 }
 
 // EngineHealth reports the Bifrost engine.
@@ -373,6 +383,21 @@ type EngineHealth struct {
 	RunsByStatus map[string]int `json:"runsByStatus"`
 	Evaluations  int64          `json:"evaluations"`
 	BusyTime     string         `json:"busyTime"`
+	// JournalErrors counts run events that failed to reach the
+	// write-ahead journal; non-zero means the durable audit trail has
+	// gaps.
+	JournalErrors int64 `json:"journalErrors"`
+}
+
+// JournalHealth reports the write-ahead journal backing run state.
+type JournalHealth struct {
+	Records  uint64 `json:"records"`
+	Bytes    uint64 `json:"bytes"`
+	Segments int    `json:"segments"`
+	Syncs    uint64 `json:"syncs"`
+	// Truncations counts torn record tails dropped during replays — the
+	// residue of crashes mid-append.
+	Truncations uint64 `json:"truncations"`
 }
 
 // StoreHealth reports the metric store: how many series exist and how
@@ -401,9 +426,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status: "ok",
 		Uptime: time.Since(s.start).Round(time.Millisecond).String(),
 		Engine: EngineHealth{
-			RunsByStatus: byStatus,
-			Evaluations:  evals,
-			BusyTime:     busy.Round(time.Microsecond).String(),
+			RunsByStatus:  byStatus,
+			Evaluations:   evals,
+			BusyTime:      busy.Round(time.Microsecond).String(),
+			JournalErrors: s.cfg.Engine.JournalErrors(),
 		},
 		Store: StoreHealth{
 			Series: s.cfg.Store.SeriesCount(),
@@ -414,6 +440,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			TableVersion:    s.cfg.Table.Version(),
 			SnapshotVersion: s.cfg.Table.Version(),
 		},
+	}
+	if st, ok := s.cfg.Journal.(journal.Stater); ok {
+		stats := st.Stats()
+		h.Journal = &JournalHealth{
+			Records:     stats.Records,
+			Bytes:       stats.Bytes,
+			Segments:    stats.Segments,
+			Syncs:       stats.Syncs,
+			Truncations: stats.Truncations,
+		}
 	}
 	if s.demo != nil {
 		h.Demo = s.demo.Health()

@@ -13,9 +13,11 @@ import (
 // "run-status" message carries the terminal RunStatus. The stream ends
 // when the run finishes or the client disconnects.
 //
-// The engine keeps the full event log per run, so a client connecting
-// mid-run (or after the run finished) still receives every event from
-// the beginning — the stream is a replay plus a live tail.
+// The engine keeps the full event log per run — including history
+// rebuilt from the write-ahead journal after a restart — so a client
+// connecting mid-run, after the run finished, or after a crash
+// recovery still receives every event from the beginning: the stream
+// is a replay plus a live tail.
 func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.cfg.Engine.Get(r.PathValue("name"))
 	if !ok {
