@@ -1,0 +1,220 @@
+// Command benchgate is the CI benchmark-regression gate. It parses
+// `go test -bench` output (several -count repetitions per benchmark),
+// reduces each benchmark to its p50 (median) ns/op, and compares the
+// result against a committed JSON baseline, failing when any benchmark
+// regresses beyond the threshold.
+//
+//	# seed (or refresh) the baseline from a bench run
+//	go test -bench ... -count=5 ./... | tee bench.txt
+//	benchgate -current bench.txt -out BENCH_baseline.json
+//
+//	# gate a PR: >20% p50 regression on any benchmark fails
+//	benchgate -current bench.txt -baseline BENCH_baseline.json -out bench.json
+//
+// benchstat remains the human-readable comparison; benchgate is the
+// machine check (benchstat does not exit non-zero on thresholds).
+// Medians, not means, so one noisy repetition cannot mask or fake a
+// regression; the baseline additionally records each benchmark's p75
+// and the gate fires on p50 > p75 × (1 + threshold), so a benchmark's
+// own measured run-to-run spread (seed the baseline from several
+// pooled runs) widens its envelope instead of tripping the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed benchmark trajectory file.
+type Baseline struct {
+	Schema     int                  `json:"schema"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's reduced timing. P75 captures the
+// benchmark's own run-to-run spread at baseline time: the gate fails
+// when the current p50 exceeds the baseline p75 by the threshold, so a
+// benchmark's measured noise envelope does not trip the gate while
+// stable benchmarks keep a tight one.
+type Benchmark struct {
+	P50NsPerOp float64 `json:"p50NsPerOp"`
+	P75NsPerOp float64 `json:"p75NsPerOp,omitempty"`
+	Samples    int     `json:"samples"`
+}
+
+// bound is the value regressions are measured against: the baseline's
+// p75 when recorded (older baselines carry only p50).
+func (b Benchmark) bound() float64 {
+	if b.P75NsPerOp > b.P50NsPerOp {
+		return b.P75NsPerOp
+	}
+	return b.P50NsPerOp
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkResolveParallel-8   	12345678	        95.20 ns/op	       0 B/op
+//
+// The -8 GOMAXPROCS suffix is stripped so baselines compare across
+// machine shapes (the timing still differs, the name must not).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// parseBench reduces bench output to per-benchmark p50 ns/op.
+func parseBench(r io.Reader) (map[string]Benchmark, error) {
+	samples := make(map[string][]float64)
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		m := benchLine.FindStringSubmatch(scanner.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Benchmark, len(samples))
+	for name, vals := range samples {
+		sort.Float64s(vals)
+		out[name] = Benchmark{
+			P50NsPerOp: quantile(vals, 0.50),
+			P75NsPerOp: quantile(vals, 0.75),
+			Samples:    len(vals),
+		}
+	}
+	return out, nil
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	current := fs.String("current", "", "bench output file to parse (required)")
+	baselinePath := fs.String("baseline", "", "committed baseline JSON to compare against")
+	outPath := fs.String("out", "", "write the parsed current results as baseline JSON")
+	threshold := fs.Float64("threshold", 0.20, "relative p50 regression that fails the gate")
+	minSamples := fs.Int("min-samples", 3, "fewest repetitions per benchmark for a meaningful median")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *current == "" {
+		fmt.Fprintln(errw, "benchgate: -current is required")
+		return 2
+	}
+	f, err := os.Open(*current)
+	if err != nil {
+		fmt.Fprintln(errw, "benchgate:", err)
+		return 2
+	}
+	defer f.Close()
+	parsed, err := parseBench(f)
+	if err != nil {
+		fmt.Fprintln(errw, "benchgate:", err)
+		return 2
+	}
+	if len(parsed) == 0 {
+		fmt.Fprintln(errw, "benchgate: no benchmark results in", *current)
+		return 2
+	}
+	for name, b := range parsed {
+		if b.Samples < *minSamples {
+			fmt.Fprintf(errw, "benchgate: %s has only %d samples (want >= %d); run with -count\n",
+				name, b.Samples, *minSamples)
+			return 2
+		}
+	}
+
+	if *outPath != "" {
+		blob, err := json.MarshalIndent(Baseline{Schema: 1, Benchmarks: parsed}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(errw, "benchgate:", err)
+			return 2
+		}
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(errw, "benchgate:", err)
+			return 2
+		}
+		fmt.Fprintf(out, "benchgate: wrote %d benchmarks to %s\n", len(parsed), *outPath)
+	}
+
+	if *baselinePath == "" {
+		return 0
+	}
+	blob, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchgate:", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintf(errw, "benchgate: parsing %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := parsed[name]
+		if !ok {
+			// A vanished benchmark is a warning, not a failure: renames
+			// and removals are legitimate, and the baseline refresh that
+			// accompanies them makes the gap visible in review.
+			fmt.Fprintf(out, "benchgate: WARN %s: in baseline but not in current run\n", name)
+			continue
+		}
+		delta := (got.P50NsPerOp - want.P50NsPerOp) / want.P50NsPerOp
+		status := "ok"
+		if got.P50NsPerOp > want.bound()*(1+*threshold) {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(out, "benchgate: %-4s %-40s p50 %10.1f -> %10.1f ns/op (%+.1f%%)\n",
+			status, name, want.P50NsPerOp, got.P50NsPerOp, delta*100)
+	}
+	for name := range parsed {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(out, "benchgate: NEW  %s: not in baseline (refresh %s)\n", name, *baselinePath)
+		}
+	}
+	if failed {
+		fmt.Fprintf(errw, "benchgate: p50 regression beyond %.0f%% — if intentional, refresh the baseline in the same PR\n",
+			*threshold*100)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOut = `
+goos: linux
+goarch: amd64
+pkg: contexp/internal/router
+cpu: Example CPU
+BenchmarkResolveWeighted-8   	35819650	        29.61 ns/op	       0 B/op	       0 allocs/op
+BenchmarkResolveWeighted-8   	39569零	        31.00 ns/op
+BenchmarkResolveWeighted-8   	35819650	        30.10 ns/op	       0 B/op
+BenchmarkResolveWeighted-8   	35819650	        28.90 ns/op	       0 B/op
+BenchmarkResolveWeighted-8   	35819650	        33.50 ns/op	       0 B/op
+BenchmarkResolveWeighted-8   	35819650	        29.90 ns/op	       0 B/op
+BenchmarkQueryP95/cold-16    	    1000	    105000 ns/op
+BenchmarkQueryP95/cold-16    	    1000	    101000 ns/op
+BenchmarkQueryP95/cold-16    	    1000	    99000 ns/op
+PASS
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	parsed, err := parseBench(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The malformed iteration-count line is skipped: 5 valid samples.
+	rw, ok := parsed["BenchmarkResolveWeighted"]
+	if !ok {
+		t.Fatalf("missing BenchmarkResolveWeighted in %v", parsed)
+	}
+	if rw.Samples != 5 || rw.P50NsPerOp != 29.90 {
+		t.Errorf("ResolveWeighted = %+v, want 5 samples with p50 29.90", rw)
+	}
+	// Sub-benchmark names keep their slash, lose the GOMAXPROCS suffix.
+	q, ok := parsed["BenchmarkQueryP95/cold"]
+	if !ok {
+		t.Fatalf("missing BenchmarkQueryP95/cold in %v", parsed)
+	}
+	if q.Samples != 3 || q.P50NsPerOp != 101000 {
+		t.Errorf("QueryP95/cold = %+v, want 3 samples with p50 101000", q)
+	}
+}
+
+// gate runs the tool against a current bench file and a baseline blob.
+func gate(t *testing.T, current, baseline string, extra ...string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(cur, []byte(current), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-current", cur}
+	if baseline != "" {
+		base := filepath.Join(dir, "baseline.json")
+		if err := os.WriteFile(base, []byte(baseline), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		args = append(args, "-baseline", base)
+	}
+	args = append(args, extra...)
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+const baselineJSON = `{
+  "schema": 1,
+  "benchmarks": {
+    "BenchmarkResolveWeighted": {"p50NsPerOp": 30.0, "samples": 5},
+    "BenchmarkQueryP95/cold": {"p50NsPerOp": 100000, "samples": 5},
+    "BenchmarkGone": {"p50NsPerOp": 12.0, "samples": 5}
+  }
+}`
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	code, out, errw := gate(t, benchOut, baselineJSON)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+	// ~0% and +1% deltas pass; the vanished benchmark warns.
+	if !strings.Contains(out, "WARN BenchmarkGone") {
+		t.Errorf("missing vanished-benchmark warning:\n%s", out)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	tight := `{"schema":1,"benchmarks":{"BenchmarkResolveWeighted":{"p50NsPerOp":20.0,"samples":5}}}`
+	code, out, errw := gate(t, benchOut, tight)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (29.90 vs 20.0 is ~+50%%)\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+	if !strings.Contains(out, "FAIL BenchmarkResolveWeighted") {
+		t.Errorf("missing FAIL line:\n%s", out)
+	}
+	// A looser threshold lets the same delta through.
+	if code, _, _ := gate(t, benchOut, tight, "-threshold", "0.6"); code != 0 {
+		t.Errorf("60%% threshold should pass a +50%% delta, got exit %d", code)
+	}
+}
+
+func TestGateUsesNoiseEnvelope(t *testing.T) {
+	// Baseline p50 20 but p75 28 (a noisy benchmark): a current p50 of
+	// 29.90 is within 28 × 1.2 = 33.6, so the gate holds; with a tight
+	// p75 of 21 it fires.
+	noisy := `{"schema":1,"benchmarks":{"BenchmarkResolveWeighted":{"p50NsPerOp":20.0,"p75NsPerOp":28.0,"samples":15}}}`
+	if code, out, _ := gate(t, benchOut, noisy); code != 0 {
+		t.Errorf("p75 envelope should absorb the spread, exit %d:\n%s", code, out)
+	}
+	tight := `{"schema":1,"benchmarks":{"BenchmarkResolveWeighted":{"p50NsPerOp":20.0,"p75NsPerOp":21.0,"samples":15}}}`
+	if code, _, _ := gate(t, benchOut, tight); code != 1 {
+		t.Errorf("tight p75 should still gate, exit %d", code)
+	}
+}
+
+func TestGateRequiresSamples(t *testing.T) {
+	one := "BenchmarkResolveWeighted-8 100 30.0 ns/op\n"
+	if code, _, errw := gate(t, one, ""); code != 2 || !strings.Contains(errw, "samples") {
+		t.Errorf("single-sample input should be rejected, exit %d, stderr %q", code, errw)
+	}
+}
+
+func TestSeedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(cur, []byte(benchOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outJSON := filepath.Join(dir, "BENCH_baseline.json")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-current", cur, "-out", outJSON}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	// The written file gates its own source run cleanly.
+	var o2, e2 bytes.Buffer
+	if code := run([]string{"-current", cur, "-baseline", outJSON}, &o2, &e2); code != 0 {
+		t.Fatalf("self-comparison failed: exit %d\n%s%s", code, o2.String(), e2.String())
+	}
+}

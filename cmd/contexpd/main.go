@@ -11,6 +11,8 @@
 //	--data-dir ""            run-state journal directory; empty keeps
 //	                         runs in memory only (no crash recovery)
 //	--check-interval 5s      default check interval for strategies
+//	--max-concurrent 4       concurrently enacting strategies ceiling
+//	--capacity 0.8           aggregate candidate-traffic share ceiling
 //	--demo                   boot the simulated shop and drive traffic
 //	--demo-rps 25            demo request rate
 //	--demo-latency-scale 0.1 demo latency compression factor
@@ -30,9 +32,17 @@
 //
 // With --data-dir the daemon journals every run event to a segmented
 // write-ahead log before applying it, and replays the log at boot:
-// finished runs come back with their full audit trails, and runs a
-// crash interrupted are deterministically resumed or rolled back (see
-// docs/PERSISTENCE.md).
+// finished runs come back with their full audit trails, runs a crash
+// interrupted are deterministically resumed or rolled back (see
+// docs/PERSISTENCE.md), and strategies that were queued but not yet
+// launched are restored to the queue (see docs/SCHEDULING.md).
+//
+// Every submission goes through the live scheduler: strategies whose
+// conflict footprint (service, user groups, capacity, max-concurrency)
+// is clear launch immediately, the rest queue and are placed on the
+// planning horizon by the Fenrir genetic optimizer. The queue is
+// observable at /v1/schedule (add ?format=gantt for the ASCII chart)
+// and /v1/schedule/events.
 package main
 
 import (
@@ -58,6 +68,8 @@ type options struct {
 	addr          string
 	dataDir       string
 	checkInterval time.Duration
+	maxConcurrent int
+	capacity      float64
 	demo          bool
 	demoRPS       float64
 	demoScale     float64
@@ -74,6 +86,10 @@ func parseFlags(args []string) (*options, error) {
 		"directory for the run-state journal; empty keeps run state in memory only")
 	fs.DurationVar(&opt.checkInterval, "check-interval", 5*time.Second,
 		"default interval for checks that do not declare one")
+	fs.IntVar(&opt.maxConcurrent, "max-concurrent", 4,
+		"maximum number of concurrently enacting strategies")
+	fs.Float64Var(&opt.capacity, "capacity", 0.8,
+		"aggregate candidate-traffic share ceiling across concurrent runs (0,1]")
 	fs.BoolVar(&opt.demo, "demo", false,
 		"boot the simulated shop behind routing proxies and drive traffic")
 	fs.Float64Var(&opt.demoRPS, "demo-rps", 25, "demo request rate (requests/second)")
@@ -91,6 +107,12 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if opt.checkInterval <= 0 {
 		return nil, errors.New("--check-interval must be positive")
+	}
+	if opt.maxConcurrent <= 0 {
+		return nil, errors.New("--max-concurrent must be positive")
+	}
+	if opt.capacity <= 0 || opt.capacity > 1 {
+		return nil, errors.New("--capacity must be in (0,1]")
 	}
 	return opt, nil
 }
@@ -145,14 +167,45 @@ func run(args []string) error {
 			}
 		}
 		// Retention: drop generations superseded by name reuse. Runs
-		// before the HTTP server accepts new launches, so the census
-		// cannot race a relaunch.
+		// before the HTTP server accepts new launches (and before the
+		// scheduler can relaunch restored entries), so the census cannot
+		// race a relaunch.
 		if err := bifrost.CompactJournal(jnl); err != nil {
 			return fmt.Errorf("compacting journal %s: %w", opt.dataDir, err)
 		}
 	}
 
-	srv, err := server.New(server.Config{Engine: engine, Table: table, Store: store, Journal: jnl})
+	sched, err := bifrost.NewScheduler(bifrost.SchedulerConfig{
+		Engine:        engine,
+		Journal:       jnl,
+		MaxConcurrent: opt.maxConcurrent,
+		Capacity:      opt.capacity,
+	})
+	if err != nil {
+		return err
+	}
+	if jnl != nil {
+		// Strategies queued before the crash re-enter the queue; their
+		// queued records are already in the journal. Entries whose
+		// conflicts cleared (the blocking run settled during recovery)
+		// launch right here.
+		pending, qerrs := bifrost.RecoverQueue(jnl)
+		for _, qe := range qerrs {
+			fmt.Printf("journal %s: %v\n", opt.dataDir, qe)
+		}
+		if len(pending) > 0 {
+			names := make([]string, len(pending))
+			for i, p := range pending {
+				names[i] = p.Name
+			}
+			fmt.Printf("journal %s: restoring %d queued strategies: %v\n", opt.dataDir, len(pending), names)
+			sched.Restore(pending)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Engine: engine, Table: table, Store: store, Journal: jnl, Scheduler: sched,
+	})
 	if err != nil {
 		return err
 	}
@@ -192,6 +245,7 @@ func run(args []string) error {
 		fmt.Printf("contexpd listening on %s\n", opt.addr)
 		fmt.Printf("  curl %s/healthz\n", curlHost(opt.addr))
 		fmt.Printf("  curl %s/v1/runs\n", curlHost(opt.addr))
+		fmt.Printf("  curl %s/v1/schedule\n", curlHost(opt.addr))
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}

@@ -67,6 +67,25 @@ func TestParseFlags(t *testing.T) {
 			t.Error("expected error for zero check interval")
 		}
 	})
+
+	t.Run("scheduler flags", func(t *testing.T) {
+		opt, err := parseFlags([]string{"--max-concurrent", "8", "--capacity", "0.5"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.maxConcurrent != 8 || opt.capacity != 0.5 {
+			t.Errorf("opt = %+v", opt)
+		}
+		if opt, _ := parseFlags(nil); opt.maxConcurrent != 4 || opt.capacity != 0.8 {
+			t.Errorf("defaults = %+v", opt)
+		}
+		if _, err := parseFlags([]string{"--max-concurrent", "0"}); err == nil {
+			t.Error("expected error for zero max-concurrent")
+		}
+		if _, err := parseFlags([]string{"--capacity", "1.5"}); err == nil {
+			t.Error("expected error for capacity above 1")
+		}
+	})
 }
 
 func TestParseDataDirFlag(t *testing.T) {
@@ -184,6 +203,124 @@ strategy "crashy" {
 	}
 
 	// Shut the daemon down via its signal path.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
+// TestDataDirQueueRecoveryOverHTTP is the scheduling acceptance flow:
+// a previous process had one strategy running and a same-service
+// strategy queued behind it, then died. The daemon booted on the same
+// --data-dir restores the still-queued submission — visible in
+// /v1/schedule — behind the resumed blocker.
+func TestDataDirQueueRecoveryOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+
+	// Process one: a blocker run plus a queued submission, then death.
+	log1, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	engine, err := bifrost.NewEngine(bifrost.Config{
+		Table: table, Store: store, Journal: log1,
+		DefaultCheckInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := bifrost.NewScheduler(bifrost.SchedulerConfig{Engine: engine, Journal: log1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdDSL := func(name string) string {
+		return `
+strategy "` + name + `" {
+    service   = "svc"
+    baseline  = "v1"
+    candidate = "v2"
+    phase "hold" {
+        practice = canary
+        traffic  = 50%
+        duration = 30s
+        on inconclusive -> retry
+        max-retries = 10
+        on success -> promote
+    }
+}
+`
+	}
+	blocker, err := bifrost.ParseStrategy(holdDSL("blocker"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sched.Submit(blocker); err != nil || res.Queued {
+		t.Fatalf("blocker: %+v, %v", res, err)
+	}
+	pending, err := bifrost.ParseStrategy(holdDSL("pending"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sched.Submit(pending); err != nil || !res.Queued {
+		t.Fatalf("pending: %+v, %v", res, err)
+	}
+	if err := log1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process two: the real daemon on the same data dir.
+	addr := freeAddr(t)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"--addr", addr, "--data-dir", dir})
+	}()
+
+	base := "http://" + addr
+	var snap struct {
+		Running []struct {
+			Name string `json:"name"`
+		} `json:"running"`
+		Queue []struct {
+			Name      string `json:"name"`
+			Recovered bool   `json:"recovered"`
+		} `json:"queue"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/schedule")
+		if err == nil {
+			decodeErr := json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+			if decodeErr == nil && resp.StatusCode == http.StatusOK && len(snap.Running) > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never served the schedule")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// The blocker resumed (on inconclusive -> retry re-enters the
+	// interrupted phase), so the restored submission waits behind it.
+	if len(snap.Running) != 1 || snap.Running[0].Name != "blocker" {
+		t.Errorf("running = %+v, want the resumed blocker", snap.Running)
+	}
+	if len(snap.Queue) != 1 || snap.Queue[0].Name != "pending" || !snap.Queue[0].Recovered {
+		t.Errorf("queue = %+v, want the recovered pending submission", snap.Queue)
+	}
+
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

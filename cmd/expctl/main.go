@@ -7,10 +7,13 @@
 //	expctl fmt strategy.exp          # print the canonical DSL form
 //	expctl runs [--addr URL]         # list runs on a daemon, launch order
 //	expctl events <run> [--addr URL] # print a run's full event history
+//	expctl schedule [--addr URL]     # live schedule: running, queue, Gantt
+//	expctl queue [--addr URL]        # queued submissions only
 //
 // The runs and events commands read the same durable state the daemon
 // recovers from its journal, so a run's pre-crash history is readable
-// after a restart.
+// after a restart; schedule and queue read the live scheduler, whose
+// pending submissions equally survive a restart.
 package main
 
 import (
@@ -34,7 +37,7 @@ func main() {
 	}
 }
 
-const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl runs [--addr URL] | expctl events <run> [--addr URL]"
+const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl <runs|schedule|queue> [--addr URL] | expctl events <run> [--addr URL]"
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
@@ -64,6 +67,18 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("usage: expctl events <run> [--addr URL]")
 		}
 		return showEvents(addr, rest[0], out)
+	case "schedule", "queue":
+		addr, rest, err := parseHTTPFlags(cmd, args[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) > 0 {
+			return fmt.Errorf("%s takes no arguments", cmd)
+		}
+		if cmd == "queue" {
+			return showQueue(addr, out)
+		}
+		return showSchedule(addr, out)
 	default:
 		return fmt.Errorf("unknown command %q (%s)", cmd, usage)
 	}
@@ -182,6 +197,118 @@ func listRuns(addr string, out io.Writer) error {
 		fmt.Fprintf(out, "%-28s %-12s %-14s %-20s %7d\n",
 			name, r.Status, r.Phase, fmt.Sprintf("%s %s->%s", r.Service, r.Baseline, r.Candidate), r.Events)
 	}
+	return nil
+}
+
+// scheduleView mirrors the scheduler's ScheduleSnapshot.
+type scheduleView struct {
+	Slot          int     `json:"slot"`
+	SlotDuration  string  `json:"slotDuration"`
+	Capacity      float64 `json:"capacity"`
+	MaxConcurrent int     `json:"maxConcurrent"`
+	PlanFitness   float64 `json:"planFitness"`
+	PlanValid     bool    `json:"planValid"`
+	Running       []struct {
+		Name      string    `json:"name"`
+		Service   string    `json:"service"`
+		Share     float64   `json:"share"`
+		EstEnd    time.Time `json:"estEnd"`
+		StartedAt time.Time `json:"startedAt"`
+	} `json:"running"`
+	Queue []queueView `json:"queue"`
+}
+
+// queueView mirrors the scheduler's QueueEntryView.
+type queueView struct {
+	Name         string    `json:"name"`
+	Service      string    `json:"service"`
+	Groups       []string  `json:"groups"`
+	Share        float64   `json:"share"`
+	Position     int       `json:"position"`
+	QueuedAt     time.Time `json:"queuedAt"`
+	PlannedStart time.Time `json:"plannedStart"`
+	EstDuration  string    `json:"estDuration"`
+	Reason       string    `json:"reason"`
+	Recovered    bool      `json:"recovered"`
+}
+
+func getSchedule(addr string) (*scheduleView, error) {
+	var view scheduleView
+	if err := getJSON(addr, "/v1/schedule", &view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+func printQueue(entries []queueView, out io.Writer) {
+	if len(entries) == 0 {
+		fmt.Fprintln(out, "queue is empty")
+		return
+	}
+	fmt.Fprintf(out, "%-4s %-24s %-16s %6s %-20s %s\n", "POS", "NAME", "SERVICE", "SHARE", "PLANNED-START", "WAITING-ON")
+	for _, q := range entries {
+		name := q.Name
+		if q.Recovered {
+			name += " (recovered)"
+		}
+		planned := "-"
+		if !q.PlannedStart.IsZero() {
+			planned = q.PlannedStart.Format(time.RFC3339)
+		}
+		fmt.Fprintf(out, "%-4d %-24s %-16s %5.0f%% %-20s %s\n",
+			q.Position, name, q.Service, q.Share*100, planned, q.Reason)
+	}
+}
+
+// showSchedule prints the live schedule: running runs, the queue, and
+// the optimizer's ASCII Gantt chart.
+func showSchedule(addr string, out io.Writer) error {
+	view, err := getSchedule(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "slot %d (%s per slot), capacity %.0f%%, max-concurrent %d\n",
+		view.Slot, view.SlotDuration, view.Capacity*100, view.MaxConcurrent)
+	if view.PlanFitness > 0 {
+		fmt.Fprintf(out, "plan fitness: %.0f%% of maximum (valid: %v)\n", view.PlanFitness*100, view.PlanValid)
+	}
+	fmt.Fprintf(out, "\nrunning (%d):\n", len(view.Running))
+	for _, r := range view.Running {
+		fmt.Fprintf(out, "  %-24s %-16s %5.0f%%  est-end %s\n",
+			r.Name, r.Service, r.Share*100, r.EstEnd.Format(time.RFC3339))
+	}
+	fmt.Fprintf(out, "\nqueued (%d):\n", len(view.Queue))
+	printQueue(view.Queue, out)
+
+	// The Gantt chart comes pre-rendered from the daemon.
+	u, err := url.JoinPath(addr, "/v1/schedule")
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u + "?format=gantt")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	gantt, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(gantt)))
+	}
+	fmt.Fprintf(out, "\n%s", gantt)
+	return nil
+}
+
+// showQueue prints only the queued submissions.
+func showQueue(addr string, out io.Writer) error {
+	view, err := getSchedule(addr)
+	if err != nil {
+		return err
+	}
+	printQueue(view.Queue, out)
 	return nil
 }
 

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"contexp/internal/bifrost"
 	"contexp/internal/journal"
@@ -85,7 +87,13 @@ func startDaemon(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(server.Config{Engine: engine, Table: table, Store: store, Journal: jnl})
+	sched, err := bifrost.NewScheduler(bifrost.SchedulerConfig{Engine: engine, Journal: jnl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Engine: engine, Table: table, Store: store, Journal: jnl, Scheduler: sched,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,6 +107,23 @@ func startDaemon(t *testing.T) string {
 	}
 	run.Abort()
 	<-run.Done()
+	// One live run and one queued submission behind it, so the schedule
+	// and queue subcommands have something to show.
+	holding := func(name string) *bifrost.Strategy {
+		s, err := bifrost.ParseStrategy(strings.Replace(validStrategy,
+			`strategy "demo"`, fmt.Sprintf("strategy %q", name), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Phases[0].Duration = time.Hour
+		return s
+	}
+	if res, err := sched.Submit(holding("live")); err != nil || res.Queued {
+		t.Fatalf("submit live: %+v, %v", res, err)
+	}
+	if res, err := sched.Submit(holding("waiting")); err != nil || !res.Queued {
+		t.Fatalf("submit waiting: %+v, %v", res, err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts.URL
@@ -134,6 +159,38 @@ func TestRunsAndEventsOverHTTP(t *testing.T) {
 		t.Error("events for unknown run should fail")
 	}
 	if err := run([]string{"runs", "--addr", "http://127.0.0.1:1"}, io.Discard); err == nil {
+		t.Error("unreachable daemon should fail")
+	}
+}
+
+func TestScheduleAndQueueOverHTTP(t *testing.T) {
+	url := startDaemon(t)
+
+	var schedOut strings.Builder
+	if err := run([]string{"schedule", "--addr", url}, &schedOut); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	for _, want := range []string{"running (1)", "live", "queued (1)", "waiting", "svc"} {
+		if !strings.Contains(schedOut.String(), want) {
+			t.Errorf("schedule output missing %q:\n%s", want, schedOut.String())
+		}
+	}
+	// The Gantt chart section charts both experiments.
+	if !strings.Contains(schedOut.String(), "|") {
+		t.Errorf("schedule output missing the Gantt chart:\n%s", schedOut.String())
+	}
+
+	var queueOut strings.Builder
+	if err := run([]string{"queue", "--addr=" + url}, &queueOut); err != nil {
+		t.Fatalf("queue: %v", err)
+	}
+	if !strings.Contains(queueOut.String(), "waiting") || !strings.Contains(queueOut.String(), "service") {
+		t.Errorf("queue output missing the waiting entry or its reason:\n%s", queueOut.String())
+	}
+	if err := run([]string{"queue", "extra"}, io.Discard); err == nil {
+		t.Error("queue with positional arguments should fail")
+	}
+	if err := run([]string{"schedule", "--addr", "http://127.0.0.1:1"}, io.Discard); err == nil {
 		t.Error("unreachable daemon should fail")
 	}
 }

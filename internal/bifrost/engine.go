@@ -66,7 +66,25 @@ const (
 	EventTrafficApplied EventType = "traffic-applied"
 	EventRunFinished    EventType = "run-finished"
 	EventRolloutStep    EventType = "rollout-step"
+
+	// Queue lifecycle events. They are journaled by the Scheduler under
+	// the strategy's (future) run name before any run exists:
+	// EventRunQueued carries the strategy DSL (like EventRunLaunched) so
+	// a crashed daemon can restore still-pending submissions,
+	// EventRunScheduled marks the moment the scheduler hands the
+	// strategy to Engine.Launch, and EventRunDequeued marks a queued
+	// submission withdrawn before launch. Engine.Recover ignores them;
+	// RecoverQueue replays them.
+	EventRunQueued    EventType = "run-queued"
+	EventRunScheduled EventType = "run-scheduled"
+	EventRunDequeued  EventType = "run-dequeued"
 )
+
+// queueLifecycle reports whether an event type belongs to the
+// scheduler's queue lifecycle rather than to a run's own log.
+func queueLifecycle(t EventType) bool {
+	return t == EventRunQueued || t == EventRunScheduled || t == EventRunDequeued
+}
 
 // Event is one entry of a run's audit trail.
 type Event struct {
@@ -178,9 +196,17 @@ type Run struct {
 	cancelOnce sync.Once
 }
 
+// ErrServiceBusy marks a launch rejected because another live run is
+// already manipulating the same service's routing. Two concurrent
+// strategies on one service would silently overwrite each other's
+// routing table entries; callers either surface the conflict or queue
+// the strategy through a Scheduler.
+var ErrServiceBusy = errors.New("service is busy with another running strategy")
+
 // Launch validates the strategy, journals the launch, installs the
 // all-baseline route, and starts executing. Strategy names must be
-// unique among live runs.
+// unique among live runs, and at most one live run may target a given
+// service (ErrServiceBusy otherwise).
 func (e *Engine) Launch(s *Strategy) (*Run, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -189,6 +215,13 @@ func (e *Engine) Launch(s *Strategy) (*Run, error) {
 	if existing, ok := e.runs[s.Name]; ok && existing.Status() == StatusRunning {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("bifrost: strategy %q is already running", s.Name)
+	}
+	for _, other := range e.runs {
+		if other.strategy.Service == s.Service && other.Status() == StatusRunning {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("bifrost: launching %q: %w: %q owns service %q",
+				s.Name, ErrServiceBusy, other.strategy.Name, s.Service)
+		}
 	}
 	run := &Run{
 		strategy: s,

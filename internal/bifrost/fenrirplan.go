@@ -1,0 +1,496 @@
+package bifrost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/fenrir"
+	"contexp/internal/traffic"
+)
+
+// This file adapts enactment-side strategies to Fenrir's planning-side
+// model (Chapter 3), so the Scheduler can hand queued submissions to
+// the genetic optimizer:
+//
+//   - a Strategy becomes a fenrir.Experiment whose duration is the sum
+//     of its phases' dwell times, whose traffic share is the peak
+//     candidate exposure across phases, and whose candidate groups are
+//     the union of the phases' user groups;
+//   - exclusive ownership of a service's routing table is modeled as a
+//     synthetic user group ("service/<name>") every strategy on that
+//     service requires, so Fenrir's users-in-at-most-one-experiment
+//     constraint doubles as routing-table conflict detection;
+//   - the traffic profile is flat (the scheduler plans in wall-clock
+//     slots, not against a forecast), and the per-slot capacity ceiling
+//     bounds the aggregate candidate exposure so a control population
+//     always remains.
+//
+// Fenrir treats group assignment as a degree of freedom; for the
+// scheduler the footprint is a requirement. The planner pins it by
+// making every group preferred with a dominant coverage weight, and
+// restores full masks after optimization (falling back to a greedy
+// earliest-fit placement if the restored schedule is invalid).
+
+// planSlotVolume is the synthetic per-slot traffic volume of the flat
+// planning profile. Its absolute value is irrelevant — every
+// experiment's RequiredSamples is nominal — it only has to be positive
+// so Fenrir's sample-size constraint stays satisfiable.
+const planSlotVolume = 1000
+
+// planWeights pins group coverage: dropping a required group can gain
+// at most the start weight, and always loses more coverage than that.
+func planWeights() fenrir.Weights {
+	return fenrir.Weights{Duration: 1, Start: 2, Coverage: 10}
+}
+
+// serviceGroup is the synthetic user group that models exclusive
+// ownership of a service's routing table.
+func serviceGroup(service string) expmodel.UserGroup {
+	return expmodel.UserGroup("service/" + service)
+}
+
+// strategyGroups returns the deduplicated, sorted union of the user
+// groups a strategy's phases restrict traffic to.
+func strategyGroups(s *Strategy) []expmodel.UserGroup {
+	seen := make(map[expmodel.UserGroup]bool)
+	for i := range s.Phases {
+		for _, g := range s.Phases[i].Traffic.Groups {
+			seen[g] = true
+		}
+	}
+	out := make([]expmodel.UserGroup, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// conflictGroups is the full conflict footprint: the service-ownership
+// group plus the strategy's explicit user groups.
+func conflictGroups(s *Strategy) []expmodel.UserGroup {
+	return append([]expmodel.UserGroup{serviceGroup(s.Service)}, strategyGroups(s)...)
+}
+
+// peakShare estimates the peak share of users exposed to the candidate
+// across the strategy's phases. Mirrored (dark-launch) phases expose no
+// users and count as zero; the floor keeps the estimate positive, which
+// Fenrir's share bounds require.
+func peakShare(s *Strategy) float64 {
+	var peak float64
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Traffic.Mirror {
+			continue
+		}
+		w := p.Traffic.CandidateWeight
+		for _, step := range p.Traffic.Steps {
+			if step > w {
+				w = step
+			}
+		}
+		if w > peak {
+			peak = w
+		}
+	}
+	if peak < 0.01 {
+		peak = 0.01
+	}
+	return peak
+}
+
+// estimateDuration sums the phases' nominal dwell times (gradual
+// rollouts dwell one step duration per step). Retries and goto loops
+// are not modeled: the estimate is a planning projection, and the
+// scheduler tracks actual completion through Run.Done.
+func estimateDuration(s *Strategy) time.Duration {
+	var d time.Duration
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Practice == expmodel.PracticeGradualRollout {
+			d += time.Duration(len(p.Traffic.Steps)) * p.Traffic.StepDuration
+		} else {
+			d += p.Duration
+		}
+	}
+	return d
+}
+
+// planner builds and solves Fenrir problems for the scheduler. It keeps
+// the previous problem/schedule pair so each replanning round can warm
+// start through fenrir.Reevaluate instead of searching from scratch.
+type planner struct {
+	slotDur  time.Duration
+	horizon  int
+	capacity float64
+	budget   int
+	seed     int64
+
+	prevProblem  *fenrir.Problem
+	prevSchedule *fenrir.Schedule
+}
+
+// planRun is the planner's view of one already-launched run: a frozen
+// rectangle on the time axis.
+type planRun struct {
+	name    string
+	groups  []expmodel.UserGroup
+	share   float64
+	start   int // slot the run launched in
+	estEnd  int // estimated exclusive end slot
+	pending bool
+}
+
+// planPending is the planner's view of one queued submission.
+type planPending struct {
+	name   string
+	groups []expmodel.UserGroup
+	share  float64
+	slots  int // estimated duration in slots
+}
+
+// Plan is one solved placement: the problem, the chosen schedule, and
+// the per-submission projected start slots.
+type Plan struct {
+	Problem  *fenrir.Problem
+	Schedule *fenrir.Schedule
+	// Starts maps queued submission names to projected start slots.
+	Starts map[string]int
+	// Fitness is the schedule's fitness as a fraction of the maximum.
+	Fitness float64
+	// Valid reports whether the schedule passed Fenrir's constraint
+	// check with full conflict footprints.
+	Valid bool
+}
+
+// durationSlots converts a wall duration to planning slots (minimum 1),
+// clamped to half the horizon so a single long strategy cannot render
+// the whole planning instance infeasible.
+func (pl *planner) durationSlots(d time.Duration) int {
+	n := int(math.Ceil(float64(d) / float64(pl.slotDur)))
+	if n < 1 {
+		n = 1
+	}
+	if n > pl.horizon/2 {
+		n = pl.horizon / 2
+	}
+	return n
+}
+
+// experiment builds the Fenrir experiment for one rectangle. Duration
+// and share are pinned (Min == Max): the optimizer's only freedom is
+// the start slot, which is exactly the scheduling decision.
+func planExperiment(id string, groups []expmodel.UserGroup, share float64, slots, earliest, horizon int) fenrir.Experiment {
+	if earliest >= horizon {
+		earliest = horizon - 1
+	}
+	if earliest < 0 {
+		earliest = 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if share > 1 {
+		share = 1
+	}
+	return fenrir.Experiment{
+		ID:              id,
+		Practice:        expmodel.PracticeCanary,
+		RequiredSamples: 1, // nominal: the scheduler plans time, not samples
+		MinDuration:     slots,
+		MaxDuration:     slots,
+		EarliestStart:   earliest,
+		MinShare:        share,
+		MaxShare:        share,
+		CandidateGroups: groups,
+		PreferredGroups: groups,
+		Priority:        1,
+	}
+}
+
+// fullMask assigns every candidate group of experiment i.
+func fullMask(e *fenrir.Experiment) uint64 {
+	return (uint64(1) << uint(len(e.CandidateGroups))) - 1
+}
+
+// Replan computes a fresh placement for the current state: running runs
+// become frozen genes at their actual positions, pending submissions
+// are placed by the genetic algorithm. now is the current slot.
+//
+// When a previous plan exists, the new problem is derived from it with
+// fenrir.Reevaluate — finished and dequeued submissions leave as
+// cancellations, surviving genes seed the search — which is what lets
+// a run finishing early pull the queue forward without a cold search.
+func (pl *planner) Replan(now int, running []planRun, pending []planPending) (*Plan, error) {
+	if now < 0 || now >= pl.horizon {
+		return nil, fmt.Errorf("bifrost: plan slot %d outside horizon %d", now, pl.horizon)
+	}
+	problem, seed := pl.warmStart(now, running, pending)
+	if problem == nil {
+		problem, seed = pl.coldStart(now, running, pending)
+	}
+	if err := problem.Validate(); err != nil {
+		return nil, fmt.Errorf("bifrost: planning problem invalid: %w", err)
+	}
+
+	var schedule *fenrir.Schedule
+	if len(pending) == 0 {
+		// Nothing to place: every gene is frozen, so the seed IS the
+		// schedule. Skipping the search keeps run-completion pumps (which
+		// hold the scheduler mutex) cheap when the queue is empty.
+		schedule = seed.Clone()
+	} else {
+		// The search budget scales with how much there is to place:
+		// replanning runs under the scheduler mutex, and burning the
+		// full budget to position one pending entry stalls Submit and
+		// the snapshot surfaces for no planning gain.
+		budget := pl.budget
+		if adaptive := 500 * len(pending); adaptive < budget {
+			budget = adaptive
+		}
+		ga := fenrir.GeneticAlgorithm{}
+		schedule, _ = ga.Optimize(problem, budget, pl.seed, seed)
+	}
+
+	// Fenrir may have narrowed a group mask (assignment is its degree of
+	// freedom, for us it is a requirement): restore the full footprint
+	// and fall back to greedy earliest-fit placement if that breaks the
+	// schedule.
+	for i := range problem.Experiments {
+		schedule.Genes[i].GroupMask = fullMask(&problem.Experiments[i])
+	}
+	valid := problem.Valid(schedule)
+	if !valid {
+		if greedy := greedyPlace(problem, schedule, now); greedy != nil {
+			schedule, valid = greedy, problem.Valid(greedy)
+		}
+	}
+
+	pl.prevProblem, pl.prevSchedule = problem, schedule
+
+	plan := &Plan{Problem: problem, Schedule: schedule, Starts: make(map[string]int), Valid: valid}
+	if max := problem.MaxFitness(); max > 0 {
+		if f := problem.Fitness(schedule); f > 0 {
+			plan.Fitness = f / max
+		}
+	}
+	byID := make(map[string]bool, len(pending))
+	for _, p := range pending {
+		byID[p.name] = true
+	}
+	for i := range problem.Experiments {
+		if id := problem.Experiments[i].ID; byID[id] {
+			plan.Starts[id] = schedule.Genes[i].Start
+		}
+	}
+	return plan, nil
+}
+
+// Reset drops the warm-start state (used when the slot epoch
+// re-anchors).
+func (pl *planner) Reset() { pl.prevProblem, pl.prevSchedule = nil, nil }
+
+// warmStart derives the next problem from the previous one via
+// fenrir.Reevaluate. Returns nil when there is no usable previous plan.
+func (pl *planner) warmStart(now int, running []planRun, pending []planPending) (*fenrir.Problem, *fenrir.Schedule) {
+	if pl.prevProblem == nil || pl.prevSchedule == nil {
+		return nil, nil
+	}
+	prev, prevSched := pl.prevProblem, pl.prevSchedule.Clone()
+	alive := make(map[string]bool, len(running)+len(pending))
+	for _, r := range running {
+		alive[r.name] = true
+	}
+	for _, p := range pending {
+		alive[p.name] = true
+	}
+
+	runningByName := make(map[string]planRun, len(running))
+	for _, r := range running {
+		runningByName[r.name] = r
+	}
+
+	in := fenrir.ReevalInput{Now: now}
+	known := make(map[string]bool, len(prev.Experiments))
+	for i := range prev.Experiments {
+		e := &prev.Experiments[i]
+		known[e.ID] = true
+		if !alive[e.ID] {
+			// Finished or dequeued: leaves the problem regardless of what
+			// its gene projected.
+			in.Canceled = append(in.Canceled, e.ID)
+			continue
+		}
+		g := &prevSched.Genes[i]
+		if r, isRunning := runningByName[e.ID]; isRunning {
+			// Sync the frozen rectangle with reality: a run that outlived
+			// its estimate keeps occupying its service until it actually
+			// finishes.
+			g.Frozen = true
+			g.Start = r.start
+			end := r.estEnd
+			if end <= now {
+				end = now + 1
+			}
+			if end > pl.horizon {
+				return nil, nil // rectangle no longer fits: cold start
+			}
+			g.Duration = end - g.Start
+			e.EarliestStart = g.Start
+			e.MinDuration, e.MaxDuration = g.Duration, g.Duration
+		} else if g.Start <= now {
+			// Still pending: Reevaluate must not freeze it just because
+			// the projection said it would have started by now.
+			g.Start = now + 1
+			if g.Start+g.Duration > pl.horizon {
+				return nil, nil
+			}
+		}
+	}
+	for _, p := range pending {
+		if !known[p.name] {
+			in.Added = append(in.Added, planExperiment(p.name, p.groups, p.share, p.slots, now, pl.horizon))
+		}
+	}
+	for _, r := range running {
+		if !known[r.name] {
+			// A run the previous plan never saw (launched this pump, or
+			// adopted): Reevaluate cannot add it frozen, so rebuild.
+			return nil, nil
+		}
+	}
+	res, err := fenrir.Reevaluate(prev, prevSched, in)
+	if err != nil {
+		return nil, nil
+	}
+	return res.Problem, res.Seed
+}
+
+// coldStart builds the problem and seed schedule from scratch.
+func (pl *planner) coldStart(now int, running []planRun, pending []planPending) (*fenrir.Problem, *fenrir.Schedule) {
+	problem := &fenrir.Problem{
+		Profile:  flatProfile(pl.horizon, pl.slotDur),
+		Capacity: pl.capacity,
+		Weights:  planWeights(),
+	}
+	seed := &fenrir.Schedule{}
+	for _, r := range running {
+		end := r.estEnd
+		if end <= now {
+			end = now + 1
+		}
+		if end > pl.horizon {
+			end = pl.horizon
+		}
+		start := r.start
+		if start >= end {
+			start = end - 1
+		}
+		e := planExperiment(r.name, r.groups, r.share, end-start, start, pl.horizon)
+		problem.Experiments = append(problem.Experiments, e)
+		seed.Genes = append(seed.Genes, fenrir.Gene{
+			Start: start, Duration: end - start, Share: r.share,
+			GroupMask: fullMask(&e), Frozen: true,
+		})
+	}
+	for _, p := range pending {
+		e := planExperiment(p.name, p.groups, p.share, p.slots, now, pl.horizon)
+		problem.Experiments = append(problem.Experiments, e)
+		seed.Genes = append(seed.Genes, fenrir.Gene{
+			Start: now, Duration: p.slots, Share: p.share, GroupMask: fullMask(&e),
+		})
+	}
+	return problem, seed
+}
+
+// flatProfile is the scheduler's planning profile: constant volume per
+// slot, anchored at the zero time (the scheduler tracks wall-clock
+// epochs itself).
+func flatProfile(horizon int, slotDur time.Duration) *traffic.Profile {
+	slots := make([]float64, horizon)
+	for i := range slots {
+		slots[i] = planSlotVolume
+	}
+	return &traffic.Profile{SlotLength: slotDur, Slots: slots}
+}
+
+// greedyPlace is the deterministic fallback placement: frozen genes
+// stay, pending genes are placed one by one (in experiment order, which
+// is queue order) at the earliest slot where capacity and the full
+// group footprint fit. Returns nil if some experiment cannot be placed
+// inside the horizon.
+func greedyPlace(p *fenrir.Problem, prev *fenrir.Schedule, now int) *fenrir.Schedule {
+	horizon := p.Profile.NumSlots()
+	usage := make([]float64, horizon)
+	busy := make(map[expmodel.UserGroup][]bool)
+	out := &fenrir.Schedule{Genes: make([]fenrir.Gene, len(p.Experiments))}
+
+	occupy := func(e *fenrir.Experiment, g fenrir.Gene) {
+		for t := g.Start; t < g.End() && t < horizon; t++ {
+			usage[t] += g.Share
+		}
+		for _, grp := range e.CandidateGroups {
+			b := busy[grp]
+			if b == nil {
+				b = make([]bool, horizon)
+				busy[grp] = b
+			}
+			for t := g.Start; t < g.End() && t < horizon; t++ {
+				b[t] = true
+			}
+		}
+	}
+	fits := func(e *fenrir.Experiment, start, dur int, share float64) bool {
+		if start+dur > horizon {
+			return false
+		}
+		for t := start; t < start+dur; t++ {
+			if usage[t]+share > p.Capacity+1e-9 {
+				return false
+			}
+			for _, grp := range e.CandidateGroups {
+				if b := busy[grp]; b != nil && b[t] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for i := range p.Experiments {
+		if prev.Genes[i].Frozen {
+			g := prev.Genes[i]
+			g.GroupMask = fullMask(&p.Experiments[i])
+			out.Genes[i] = g
+			occupy(&p.Experiments[i], g)
+		}
+	}
+	for i := range p.Experiments {
+		if prev.Genes[i].Frozen {
+			continue
+		}
+		e := &p.Experiments[i]
+		dur, share := e.MinDuration, e.MaxShare
+		earliest := e.EarliestStart
+		if earliest < now {
+			earliest = now
+		}
+		placed := false
+		for start := earliest; start+dur <= horizon; start++ {
+			if fits(e, start, dur, share) {
+				g := fenrir.Gene{Start: start, Duration: dur, Share: share, GroupMask: fullMask(e)}
+				out.Genes[i] = g
+				occupy(e, g)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil
+		}
+	}
+	return out
+}

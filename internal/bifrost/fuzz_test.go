@@ -1,0 +1,101 @@
+package bifrost
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseStrategy feeds arbitrary source through the DSL parser: it
+// must never panic, and anything it accepts must round-trip — the
+// canonical form (WriteDSL) reparses to the same canonical form, the
+// property expctl fmt relies on.
+func FuzzParseStrategy(f *testing.F) {
+	f.Add(`
+strategy "recommendation-rollout" {
+    service   = "recommendation"
+    baseline  = "v1"
+    candidate = "v2"
+
+    phase "canary" {
+        practice    = canary
+        traffic     = 5%
+        duration    = 10m
+        min-samples = 200
+        check "latency" {
+            metric    = response_time
+            aggregate = p95
+            max       = 250
+            interval  = 10s
+        }
+        check "regression" {
+            metric    = response_time
+            aggregate = mean
+            scope     = relative
+            max       = 1.25
+            interval  = 15s
+        }
+        on success      -> phase "rollout"
+        on failure      -> rollback
+        on inconclusive -> retry
+        max-retries = 2
+    }
+
+    phase "rollout" {
+        practice      = gradual-rollout
+        steps         = 25%, 50%, 75%, 100%
+        step-duration = 5m
+        check "latency" {
+            metric    = response_time
+            aggregate = p95
+            max       = 250
+        }
+        on success -> promote
+        on failure -> rollback
+    }
+}
+`)
+	f.Add(`
+strategy "dark" {
+    service   = "svc"
+    baseline  = "v1"
+    candidate = "v2"
+    phase "mirror" {
+        practice = dark-launch
+        mirror   = true
+        duration = 1h
+        groups   = beta, power
+    }
+}
+`)
+	f.Add(`strategy "x" { service = "s" baseline = "a" candidate = "b"
+phase "p" { practice = canary traffic = 10% duration = 1s } }`)
+	f.Add(`strategy "x" {`)
+	f.Add(`# comment only`)
+	f.Add(`strategy "" {}`)
+	f.Add("strategy \"x\" {\x00}")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseStrategy(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		canonical := WriteDSL(s)
+		s2, err := ParseStrategy(canonical)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\ninput:\n%s\ncanonical:\n%s",
+				err, src, canonical)
+		}
+		if again := WriteDSL(s2); again != canonical {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				canonical, again)
+		}
+		if s2.Name != s.Name || s2.Service != s.Service || len(s2.Phases) != len(s.Phases) {
+			t.Fatalf("round trip changed identity: %q/%q/%d -> %q/%q/%d",
+				s.Name, s.Service, len(s.Phases), s2.Name, s2.Service, len(s2.Phases))
+		}
+		// The state machine rendering must not panic either.
+		if sm := s.StateMachine(); !strings.Contains(sm, s.Name) {
+			t.Fatalf("state machine rendering lost the strategy name:\n%s", sm)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package bifrost
 
 import (
 	"fmt"
+	"time"
 
 	"contexp/internal/journal"
 )
@@ -84,6 +85,11 @@ func (e *Engine) Recover(j journal.Journal) (*RecoveryReport, error) {
 		if err != nil {
 			rep.DecodeErrors++
 			return nil // tolerate foreign/corrupt records
+		}
+		if queueLifecycle(wr.Type) {
+			// Queue lifecycle records belong to the scheduler's pending
+			// queue (see RecoverQueue), not to any run's own log.
+			return nil
 		}
 		rl := byName[wr.Run]
 		if rl == nil || (wr.Type == EventRunLaunched && rl.launched) {
@@ -296,37 +302,142 @@ func phaseName(s *Strategy, idx int) string {
 // full event history) intact. Undecodable records are dropped too.
 // It is a no-op on journals without compaction support.
 //
-// Call it while no new strategies can launch — contexpd runs it at
-// boot, after Recover and before serving — since a launch reusing an
-// existing run name between the generation census and the rewrite
-// would shift which generation is "latest".
+// Queue lifecycle records (run-queued / run-scheduled / run-dequeued)
+// are retained only for submissions that are still pending — queued
+// with no later launch or dequeue — since a consumed queue entry's
+// history lives on in the run's own records.
+//
+// Call it while no new strategies can launch or queue — contexpd runs
+// it at boot, after Recover and before the scheduler restores (and
+// possibly relaunches) the queue — since a launch reusing an existing
+// run name between the generation census and the rewrite would shift
+// which generation is "latest".
 func CompactJournal(j journal.Journal) error {
 	c, ok := j.(journal.Compactor)
 	if !ok {
 		return nil
 	}
-	// Census: how many generations (run-launched records) each run has.
+	// Census pass: how many generations (run-launched records) each run
+	// has, and — per run — the position of the last run-queued record
+	// versus the last record that consumed a queue entry (a launch or a
+	// dequeue). A submission is still pending iff its last queued record
+	// comes after every consuming record.
 	total := make(map[string]int)
+	lastQueued := make(map[string]int)
+	lastConsumed := make(map[string]int)
+	pos := 0
 	if err := j.Replay(func(rec []byte) error {
-		if wr, err := decodeRecord(rec); err == nil && wr.Type == EventRunLaunched {
+		pos++
+		wr, err := decodeRecord(rec)
+		if err != nil {
+			return nil
+		}
+		switch wr.Type {
+		case EventRunLaunched:
 			total[wr.Run]++
+			lastConsumed[wr.Run] = pos
+		case EventRunQueued:
+			lastQueued[wr.Run] = pos
+		case EventRunDequeued:
+			lastConsumed[wr.Run] = pos
 		}
 		return nil
 	}); err != nil {
 		return err
 	}
-	// Keep only records belonging to each run's final generation. The
-	// filter runs in append order, so counting run-launched sightings
-	// identifies the generation a record belongs to.
+	// Filter pass, in the same append order: run records survive when
+	// they belong to their run's final generation; queue records survive
+	// when they belong to a still-pending submission's live entry.
 	seen := make(map[string]int)
+	pos = 0
 	return c.Compact(func(rec []byte) bool {
+		pos++
 		wr, err := decodeRecord(rec)
 		if err != nil {
 			return false
+		}
+		if queueLifecycle(wr.Type) {
+			return lastQueued[wr.Run] > lastConsumed[wr.Run] && pos >= lastQueued[wr.Run]
 		}
 		if wr.Type == EventRunLaunched {
 			seen[wr.Run]++
 		}
 		return seen[wr.Run] == total[wr.Run]
 	})
+}
+
+// PendingSubmission is one still-queued strategy restored from the
+// journal: a run-queued record with no later launch or dequeue for the
+// same name.
+type PendingSubmission struct {
+	// Name is the strategy (and future run) name.
+	Name string
+	// Strategy is the reparsed strategy.
+	Strategy *Strategy
+	// QueuedAt is the original submission time.
+	QueuedAt time.Time
+}
+
+// RecoverQueue replays queue lifecycle records and returns the
+// submissions that were still pending when the journal was written:
+// queued, never launched, never dequeued. The result is in original
+// submission order. Undecodable queue entries (missing or unparseable
+// strategy source) are dropped with an error in the second result.
+func RecoverQueue(j journal.Journal) ([]PendingSubmission, []error) {
+	type entry struct {
+		dsl      string
+		queuedAt time.Time
+		pending  bool
+	}
+	byName := make(map[string]*entry)
+	var order []string
+	replayErr := j.Replay(func(rec []byte) error {
+		wr, err := decodeRecord(rec)
+		if err != nil {
+			return nil
+		}
+		switch wr.Type {
+		case EventRunQueued:
+			if byName[wr.Run] == nil {
+				byName[wr.Run] = &entry{}
+			} else {
+				// Re-queued after a launch or cancel: queue position is
+				// submission order, so the name moves to the back.
+				for i, name := range order {
+					if name == wr.Run {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+			order = append(order, wr.Run)
+			*byName[wr.Run] = entry{dsl: wr.Strategy, queuedAt: wr.At, pending: true}
+		case EventRunLaunched, EventRunDequeued:
+			if e := byName[wr.Run]; e != nil {
+				e.pending = false
+			}
+		}
+		return nil
+	})
+	var out []PendingSubmission
+	var errs []error
+	if replayErr != nil {
+		// A failed replay may have cut the scan short: whatever decoded
+		// before the fault is still returned, but the caller must know
+		// the list can be incomplete.
+		errs = append(errs, fmt.Errorf("bifrost: queue recovery replay: %w", replayErr))
+	}
+	for _, name := range order {
+		e := byName[name]
+		if !e.pending {
+			continue
+		}
+		s, err := ParseStrategy(e.dsl)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("bifrost: queued strategy %q unrecoverable: %w", name, err))
+			continue
+		}
+		out = append(out, PendingSubmission{Name: name, Strategy: s, QueuedAt: e.queuedAt})
+	}
+	return out, errs
 }

@@ -1,0 +1,507 @@
+package bifrost
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/journal"
+)
+
+// newScheduler wires a scheduler to a harness engine with test-sized
+// planning parameters.
+func (h *harness) newScheduler(t *testing.T, jnl journal.Journal, mutate func(*SchedulerConfig)) *Scheduler {
+	t.Helper()
+	cfg := SchedulerConfig{
+		Engine:         h.engine,
+		Journal:        jnl,
+		SlotDuration:   10 * time.Second,
+		HorizonSlots:   720,
+		OptimizeBudget: 500,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sched, err := NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// rebasedStrategy is twoPhaseStrategy with its identity rebased.
+func rebasedStrategy(name, service string) *Strategy {
+	s := twoPhaseStrategy()
+	s.Name, s.Service = name, service
+	return s
+}
+
+// holdStrategy runs one canary phase for `hold` with no checks, so it
+// stays running until the sim clock passes the phase end.
+func holdStrategy(name, service string, hold time.Duration) *Strategy {
+	return &Strategy{
+		Name: name, Service: service, Baseline: "v1", Candidate: "v2",
+		Phases: []Phase{{
+			Name: "hold", Practice: expmodel.PracticeCanary,
+			Traffic:   TrafficSpec{CandidateWeight: 0.1},
+			Duration:  hold,
+			OnSuccess: Transition{Kind: TransitionPromote},
+		}},
+	}
+}
+
+// waitFor drives the sim clock until cond holds or a real deadline
+// passes.
+func (h *harness) waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		if d, ok := h.sim.NextDeadline(); ok {
+			h.sim.AdvanceTo(d)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestSchedulerDisjointServicesRunConcurrently(t *testing.T) {
+	h := newHarness(t)
+	sched := h.newScheduler(t, nil, nil)
+
+	a, err := sched.Submit(holdStrategy("exp-a", "catalog", time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sched.Submit(holdStrategy("exp-b", "checkout", time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Queued || a.Run == nil {
+		t.Fatalf("first submission should launch immediately: %+v", a)
+	}
+	if b.Queued || b.Run == nil {
+		t.Fatalf("disjoint-service submission should launch immediately: %+v", b)
+	}
+	if a.Run.Status() != StatusRunning || b.Run.Status() != StatusRunning {
+		t.Fatalf("both runs should be live: %v / %v", a.Run.Status(), b.Run.Status())
+	}
+	snap := sched.Snapshot()
+	if len(snap.Running) != 2 || len(snap.Queue) != 0 {
+		t.Fatalf("snapshot: %d running, %d queued", len(snap.Running), len(snap.Queue))
+	}
+}
+
+func TestSchedulerSameServiceSerializes(t *testing.T) {
+	jnl := journal.NewMemory()
+	h := newJournalHarness(t, jnl)
+	sched := h.newScheduler(t, jnl, nil)
+
+	first, err := sched.Submit(holdStrategy("first", "catalog", 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Queued {
+		t.Fatal("first submission should launch")
+	}
+	second, err := sched.Submit(holdStrategy("second", "catalog", 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Queued {
+		t.Fatal("same-service submission should queue")
+	}
+	if !strings.Contains(second.Entry.Reason, "service") {
+		t.Errorf("queue reason should name the service conflict, got %q", second.Entry.Reason)
+	}
+	if second.Entry.PlannedStart.IsZero() {
+		t.Error("queued entry should carry a projected start from the optimizer")
+	}
+	if !sched.Queued("second") {
+		t.Error("Queued should report the waiting entry")
+	}
+
+	// The first run concluding frees the service; the queue pump
+	// launches the second without any new submission.
+	h.waitFor(t, "first run to finish", func() bool {
+		return first.Run.Status() != StatusRunning
+	})
+	h.waitFor(t, "second run to launch", func() bool {
+		run, ok := h.engine.Get("second")
+		return ok && run.Status() == StatusRunning
+	})
+	if sched.Queued("second") {
+		t.Error("launched entry should have left the queue")
+	}
+
+	// The journal carries the full lifecycle in order: queued →
+	// scheduled → launched. (Launch publishes the run before appending
+	// its journal record, so poll.)
+	want := []EventType{EventRunQueued, EventRunScheduled, EventRunLaunched}
+	lifecycle := func() []EventType {
+		var got []EventType
+		_ = jnl.Replay(func(rec []byte) error {
+			wr, err := decodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			if wr.Run == "second" &&
+				(queueLifecycle(wr.Type) || wr.Type == EventRunLaunched) {
+				got = append(got, wr.Type)
+			}
+			return nil
+		})
+		return got
+	}
+	h.waitFor(t, "lifecycle to reach the journal", func() bool {
+		return len(lifecycle()) >= len(want)
+	})
+	got := lifecycle()
+	if len(got) != len(want) {
+		t.Fatalf("lifecycle = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lifecycle[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSchedulerMaxConcurrentGate(t *testing.T) {
+	h := newHarness(t)
+	sched := h.newScheduler(t, nil, func(c *SchedulerConfig) { c.MaxConcurrent = 1 })
+
+	if res, err := sched.Submit(holdStrategy("one", "catalog", time.Hour)); err != nil || res.Queued {
+		t.Fatalf("first: %+v, %v", res, err)
+	}
+	res, err := sched.Submit(holdStrategy("two", "checkout", time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Queued || !strings.Contains(res.Entry.Reason, "max-concurrent") {
+		t.Fatalf("second should queue on max-concurrent, got %+v", res)
+	}
+}
+
+func TestSchedulerCapacityGate(t *testing.T) {
+	h := newHarness(t)
+	sched := h.newScheduler(t, nil, nil) // capacity 0.8
+
+	big := holdStrategy("big", "catalog", time.Hour)
+	big.Phases[0].Traffic.CandidateWeight = 0.5
+	if res, err := sched.Submit(big); err != nil || res.Queued {
+		t.Fatalf("big: %+v, %v", res, err)
+	}
+	big2 := holdStrategy("big2", "checkout", time.Hour)
+	big2.Phases[0].Traffic.CandidateWeight = 0.5
+	res, err := sched.Submit(big2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Queued || !strings.Contains(res.Entry.Reason, "capacity") {
+		t.Fatalf("second big strategy should queue on capacity, got %+v", res)
+	}
+
+	// A strategy that alone exceeds the ceiling is rejected outright.
+	huge := holdStrategy("huge", "search", time.Hour)
+	huge.Phases[0].Traffic.CandidateWeight = 0.9
+	if _, err := sched.Submit(huge); err == nil {
+		t.Fatal("over-capacity strategy should be rejected at admission")
+	}
+}
+
+func TestSchedulerUserGroupConflict(t *testing.T) {
+	h := newHarness(t)
+	sched := h.newScheduler(t, nil, nil)
+
+	withGroups := func(name, service string) *Strategy {
+		s := holdStrategy(name, service, time.Hour)
+		s.Phases[0].Traffic.Groups = []expmodel.UserGroup{"beta"}
+		return s
+	}
+	if res, err := sched.Submit(withGroups("g1", "catalog")); err != nil || res.Queued {
+		t.Fatalf("g1: %+v, %v", res, err)
+	}
+	// Different service, same user group: a user must not be in two
+	// experiments at once.
+	res, err := sched.Submit(withGroups("g2", "checkout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Queued || !strings.Contains(res.Entry.Reason, "beta") {
+		t.Fatalf("overlapping-group strategy should queue, got %+v", res)
+	}
+}
+
+func TestSchedulerCancelQueued(t *testing.T) {
+	jnl := journal.NewMemory()
+	h := newJournalHarness(t, jnl)
+	sched := h.newScheduler(t, jnl, nil)
+
+	if _, err := sched.Submit(holdStrategy("live", "catalog", time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sched.Submit(holdStrategy("waiting", "catalog", time.Hour)); err != nil || !res.Queued {
+		t.Fatalf("waiting: %+v, %v", res, err)
+	}
+	if err := sched.Cancel("waiting"); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Queued("waiting") {
+		t.Error("canceled entry still queued")
+	}
+	if err := sched.Cancel("waiting"); err == nil {
+		t.Error("second cancel should fail")
+	}
+	// A canceled entry is consumed: RecoverQueue must not resurrect it.
+	pending, errs := RecoverQueue(jnl)
+	if len(errs) > 0 {
+		t.Fatalf("recover errors: %v", errs)
+	}
+	for _, p := range pending {
+		if p.Name == "waiting" {
+			t.Error("canceled submission recovered as pending")
+		}
+	}
+}
+
+func TestSchedulerDuplicateNames(t *testing.T) {
+	h := newHarness(t)
+	sched := h.newScheduler(t, nil, nil)
+
+	if _, err := sched.Submit(holdStrategy("dup", "catalog", time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Submit(holdStrategy("dup", "checkout", time.Hour)); err == nil {
+		t.Fatal("running-name resubmission should fail")
+	}
+	if _, err := sched.Submit(holdStrategy("held", "catalog", time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Submit(holdStrategy("held", "search", time.Hour)); err == nil {
+		t.Fatal("queued-name resubmission should fail")
+	}
+}
+
+func TestEngineRejectsSameServiceLaunch(t *testing.T) {
+	h := newHarness(t)
+	if _, err := h.engine.Launch(holdStrategy("one", "catalog", time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := h.engine.Launch(holdStrategy("two", "catalog", time.Hour))
+	if !errors.Is(err, ErrServiceBusy) {
+		t.Fatalf("same-service launch error = %v, want ErrServiceBusy", err)
+	}
+	// A different service is fine.
+	if _, err := h.engine.Launch(holdStrategy("three", "checkout", time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Once the blocking run finishes, the service frees up.
+	run, _ := h.engine.Get("one")
+	run.Abort()
+	h.waitFor(t, "one to finish", func() bool { return run.Status() != StatusRunning })
+	if _, err := h.engine.Launch(holdStrategy("two", "catalog", time.Hour)); err != nil {
+		t.Fatalf("launch after service freed: %v", err)
+	}
+}
+
+func TestSchedulerQueueRecovery(t *testing.T) {
+	jnl := journal.NewMemory()
+	h := newJournalHarness(t, jnl)
+	sched := h.newScheduler(t, jnl, nil)
+
+	if res, err := sched.Submit(holdStrategy("blocker", "catalog", time.Hour)); err != nil || res.Queued {
+		t.Fatalf("blocker: %+v, %v", res, err)
+	}
+	if res, err := sched.Submit(holdStrategy("pending", "catalog", time.Hour)); err != nil || !res.Queued {
+		t.Fatalf("pending: %+v, %v", res, err)
+	}
+
+	// "Crash": rebuild engine + scheduler from the journal snapshot.
+	snap := jnl.Snapshot()
+	h2 := newJournalHarness(t, snap)
+	eng2 := h2.engine
+	if _, err := eng2.Recover(snap); err != nil {
+		t.Fatal(err)
+	}
+	pending, errs := RecoverQueue(snap)
+	if len(errs) > 0 {
+		t.Fatalf("recover errors: %v", errs)
+	}
+	if len(pending) != 1 || pending[0].Name != "pending" {
+		t.Fatalf("pending = %+v, want just \"pending\"", pending)
+	}
+
+	sched2 := h2.newScheduler(t, snap, nil)
+	sched2.Restore(pending)
+
+	// The blocker was recovered as a live run on "catalog", so the
+	// restored entry must stay queued behind it...
+	snap2 := sched2.Snapshot()
+	if len(snap2.Queue) != 1 || snap2.Queue[0].Name != "pending" || !snap2.Queue[0].Recovered {
+		t.Fatalf("restored queue = %+v", snap2.Queue)
+	}
+	// ...until the blocker concludes, when the pump launches it. The
+	// recovered blocker is not scheduler-tracked, so completion is
+	// noticed on the next queue-affecting event; nudge with a pump via
+	// Cancel of a throwaway submission? No: recovered runs finish and
+	// the scheduler rechecks conflicts through the engine on submit.
+	blocker, ok := eng2.Get("blocker")
+	if !ok {
+		t.Fatal("blocker not recovered")
+	}
+	blocker.Abort()
+	h2.waitFor(t, "blocker to finish", func() bool { return blocker.Status() != StatusRunning })
+	sched2.Pump()
+	h2.waitFor(t, "pending to launch", func() bool {
+		run, ok := eng2.Get("pending")
+		return ok && run.Status() == StatusRunning
+	})
+
+	_ = sched // first scheduler intentionally abandoned with its engine
+}
+
+func TestSchedulerBlockedByUntrackedEngineRun(t *testing.T) {
+	h := newHarness(t)
+	sched := h.newScheduler(t, nil, nil)
+
+	// A run launched around the scheduler (demo, library users) still
+	// owns its service: the engine-side guard rejects the scheduler's
+	// launch and the entry stays queued.
+	if _, err := h.engine.Launch(holdStrategy("outsider", "catalog", time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Submit(holdStrategy("insider", "catalog", time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Queued {
+		t.Fatal("submission conflicting with an untracked run should queue")
+	}
+	outsider, _ := h.engine.Get("outsider")
+	outsider.Abort()
+	h.waitFor(t, "outsider to finish", func() bool { return outsider.Status() != StatusRunning })
+	sched.Pump()
+	h.waitFor(t, "insider to launch", func() bool {
+		run, ok := h.engine.Get("insider")
+		return ok && run.Status() == StatusRunning
+	})
+}
+
+func TestCompactJournalKeepsPendingQueueRecords(t *testing.T) {
+	jnl := journal.NewMemory()
+	h := newJournalHarness(t, jnl)
+	sched := h.newScheduler(t, jnl, nil)
+
+	// consumed: queued, then launched (conflict-free).
+	if res, err := sched.Submit(holdStrategy("consumed", "catalog", time.Hour)); err != nil || res.Queued {
+		t.Fatalf("consumed: %+v, %v", res, err)
+	}
+	// pending: queued behind consumed.
+	if res, err := sched.Submit(holdStrategy("pending", "catalog", time.Hour)); err != nil || !res.Queued {
+		t.Fatalf("pending: %+v, %v", res, err)
+	}
+	// dropped: queued then canceled.
+	if res, err := sched.Submit(holdStrategy("dropped", "catalog", time.Hour)); err != nil || !res.Queued {
+		t.Fatalf("dropped: %+v, %v", res, err)
+	}
+	if err := sched.Cancel("dropped"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := CompactJournal(jnl); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]map[EventType]int{}
+	if err := jnl.Replay(func(rec []byte) error {
+		wr, err := decodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		if counts[wr.Run] == nil {
+			counts[wr.Run] = map[EventType]int{}
+		}
+		counts[wr.Run][wr.Type]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if counts["consumed"][EventRunQueued] != 0 {
+		t.Error("consumed submission's queue records should be compacted away")
+	}
+	if counts["consumed"][EventRunLaunched] != 1 {
+		t.Error("consumed submission's run records must survive")
+	}
+	if counts["pending"][EventRunQueued] != 1 {
+		t.Error("pending submission's queued record must survive compaction")
+	}
+	if len(counts["dropped"]) != 0 {
+		t.Errorf("canceled submission should be fully compacted, got %v", counts["dropped"])
+	}
+
+	// And the compacted journal still recovers the pending entry.
+	pending, errs := RecoverQueue(jnl)
+	if len(errs) > 0 {
+		t.Fatalf("recover errors: %v", errs)
+	}
+	if len(pending) != 1 || pending[0].Name != "pending" {
+		t.Fatalf("pending after compaction = %+v", pending)
+	}
+}
+
+func TestSchedulerPlanProjectsQueue(t *testing.T) {
+	h := newHarness(t)
+	sched := h.newScheduler(t, nil, nil)
+
+	// 60s hold = 6 slots at the 10s test slot duration.
+	if res, err := sched.Submit(holdStrategy("live", "catalog", 60*time.Second)); err != nil || res.Queued {
+		t.Fatalf("live: %+v, %v", res, err)
+	}
+	res, err := sched.Submit(holdStrategy("next", "catalog", 60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Queued {
+		t.Fatal("same-service submission should queue")
+	}
+	// The optimizer must project "next" to start at or after the live
+	// run's estimated end (slot 6).
+	if res.Entry.PlannedStart.Before(t0.Add(60 * time.Second)) {
+		t.Errorf("planned start %v is inside the live run's window", res.Entry.PlannedStart)
+	}
+	snap := sched.Snapshot()
+	if !snap.PlanValid {
+		t.Error("plan over one frozen run and one pending entry should be valid")
+	}
+	gantt := sched.Gantt(64)
+	if !strings.Contains(gantt, "live") || !strings.Contains(gantt, "next") {
+		t.Errorf("gantt should chart both experiments:\n%s", gantt)
+	}
+}
+
+func TestSchedulerMetricsSeededRunsConclude(t *testing.T) {
+	// End-to-end through the scheduler: a healthy strategy submitted via
+	// Submit promotes exactly as one launched directly on the engine.
+	h := newHarness(t)
+	h.seedMetrics("response_time", "catalog", "v2", "", 3*time.Minute, 50)
+	h.seedMetrics("requests", "catalog", "v2", "", 3*time.Minute, 1)
+	sched := h.newScheduler(t, nil, nil)
+
+	res, err := sched.Submit(rebasedStrategy("promoting", "catalog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queued {
+		t.Fatal("should launch immediately")
+	}
+	h.drive(t, res.Run)
+	if res.Run.Status() != StatusSucceeded {
+		t.Fatalf("status = %v, want succeeded", res.Run.Status())
+	}
+	h.waitFor(t, "scheduler to drop the finished run", func() bool {
+		return len(sched.Snapshot().Running) == 0
+	})
+}

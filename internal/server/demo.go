@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -167,6 +168,13 @@ func StartDemo(engine *bifrost.Engine, table *router.Table, store *metrics.Store
 			return d, nil
 		}
 		if _, err := engine.Launch(strategy); err != nil {
+			// The service-conflict variant of the same restart: a
+			// recovered (or restored-from-queue) run owns the demo
+			// strategy's service. The demo keeps driving traffic at the
+			// live run rather than failing the boot.
+			if errors.Is(err, bifrost.ErrServiceBusy) {
+				return d, nil
+			}
 			d.Stop()
 			return nil, fmt.Errorf("server: launching demo strategy: %w", err)
 		}

@@ -48,9 +48,12 @@ func newJournalEnv(t *testing.T, jnl journal.Journal) *env {
 func TestListRunsLaunchOrder(t *testing.T) {
 	e := newEnv(t)
 	e.seedMetrics()
-	// Launch in an order that name-sorting would scramble.
+	// Launch in an order that name-sorting would scramble. Each strategy
+	// gets its own service: concurrent live runs on one service are
+	// rejected (bifrost.ErrServiceBusy).
 	for _, name := range []string{"zulu", "alpha", "mike"} {
 		dsl := strings.Replace(longDSL, `strategy "long"`, fmt.Sprintf("strategy %q", name), 1)
+		dsl = strings.Replace(dsl, `service   = "svc"`, fmt.Sprintf("service   = %q", "svc-"+name), 1)
 		if code, body := e.do(http.MethodPost, "/v1/strategies", dsl); code != http.StatusCreated {
 			t.Fatalf("submit %s: %d: %s", name, code, body)
 		}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"contexp/internal/bifrost"
+)
+
+// This file serves the live scheduler: the queue of admitted-but-
+// waiting strategies, the running set, the optimizer's projected
+// placement, and a change stream.
+//
+//	GET /v1/schedule                 queue + running + projection (JSON)
+//	GET /v1/schedule?format=gantt    ASCII Gantt chart (text/plain)
+//	GET /v1/schedule/events          schedule snapshots as SSE
+//
+// The endpoints exist only when the server is configured with a
+// Scheduler.
+
+// handleSchedule reports the scheduler snapshot. With ?format=gantt it
+// renders the placement as the ASCII chart Fenrir's offline scheduling
+// example prints (one row per experiment, bar height = traffic share).
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "gantt" {
+		width := 72
+		if ws := r.URL.Query().Get("width"); ws != "" {
+			if n, err := strconv.Atoi(ws); err == nil && n > 8 && n <= 512 {
+				width = n
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.cfg.Scheduler.Gantt(width)))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Scheduler.Snapshot())
+}
+
+// handleScheduleEvents streams schedule changes as server-sent events:
+// one "schedule" message per observable change (submission, launch,
+// cancellation, replanning), carrying the full snapshot. The first
+// message is the current state, so a client never starts blind.
+func (s *Server) handleScheduleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(snap bifrost.ScheduleSnapshot) {
+		writeSSE(w, int(snap.Version), "schedule", snap)
+		flusher.Flush()
+	}
+	last := s.cfg.Scheduler.Snapshot()
+	emit(last)
+
+	// Each tick takes a fresh snapshot rather than polling Version():
+	// Snapshot itself notices (and versions) changes no pump observed,
+	// such as runs launched around the scheduler finishing or starting.
+	ticker := time.NewTicker(s.cfg.EventPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if snap := s.cfg.Scheduler.Snapshot(); snap.Version != last.Version {
+				last = snap
+				emit(snap)
+			}
+		}
+	}
+}

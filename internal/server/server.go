@@ -7,11 +7,13 @@
 //
 // The API surface:
 //
-//	POST   /v1/strategies          submit a DSL strategy; starts a run
+//	POST   /v1/strategies          submit a DSL strategy; starts (or queues) a run
 //	GET    /v1/runs                list runs (live and finished)
 //	GET    /v1/runs/{name}         inspect one run, including its events
-//	DELETE /v1/runs/{name}         abort a live run
+//	DELETE /v1/runs/{name}         abort a live run (or dequeue a queued one)
 //	GET    /v1/runs/{name}/events  stream run events as server-sent events
+//	GET    /v1/schedule            scheduler queue + projected placement (?format=gantt)
+//	GET    /v1/schedule/events     stream schedule snapshots as server-sent events
 //	POST   /v1/metrics             ingest metric observations
 //	GET    /v1/routes              dump the routing table
 //	GET    /healthz                self-reported component health
@@ -53,6 +55,10 @@ type Config struct {
 	// Journal, when set, is the engine's write-ahead journal; /healthz
 	// reports its size and sync activity. Optional.
 	Journal journal.Journal
+	// Scheduler, when set, admits submissions instead of launching them
+	// directly: conflicting strategies queue (202) rather than error,
+	// and the /v1/schedule surface comes alive. Optional.
+	Scheduler *bifrost.Scheduler
 }
 
 // Server serves the control-plane API.
@@ -85,6 +91,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/metrics", s.handleIngestMetrics)
 	s.mux.HandleFunc("GET /v1/routes", s.handleRoutes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Scheduler != nil {
+		s.mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
+		s.mux.HandleFunc("GET /v1/schedule/events", s.handleScheduleEvents)
+	}
 	return s, nil
 }
 
@@ -194,12 +204,33 @@ func (s *Server) handleSubmitStrategy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.cfg.Scheduler != nil {
+		// Scheduler path: conflicting submissions queue instead of
+		// erroring. A queued strategy is 202 Accepted with its queue
+		// entry; an immediately-launched one is 201 as before.
+		res, err := s.cfg.Scheduler.Submit(strategy)
+		switch {
+		case err != nil && strings.Contains(err.Error(), "already"):
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		case res.Queued:
+			w.Header().Set("Location", "/v1/schedule")
+			writeJSON(w, http.StatusAccepted, res.Entry)
+			return
+		}
+		w.Header().Set("Location", "/v1/runs/"+strategy.Name)
+		writeJSON(w, http.StatusCreated, runSummary(res.Run))
+		return
+	}
 	run, err := s.cfg.Engine.Launch(strategy)
 	if err != nil {
 		// The strategy already parsed and validated, so Launch can only
-		// fail on a live-run name collision (checked under the engine
-		// lock) or a routing-table rejection.
-		if strings.Contains(err.Error(), "already running") {
+		// fail on a live-run name collision or service conflict (checked
+		// under the engine lock) or a routing-table rejection.
+		if strings.Contains(err.Error(), "already running") || errors.Is(err, bifrost.ErrServiceBusy) {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
@@ -240,9 +271,21 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, detail)
 }
 
-// handleAbortRun cancels a live run. Aborting a finished run (including
-// a second abort of the same run) is a conflict.
+// handleAbortRun cancels a live run — or, when a scheduler is present
+// and the name matches a queued submission that never launched,
+// withdraws it from the queue. Aborting a finished run (including a
+// second abort of the same run) is a conflict.
 func (s *Server) handleAbortRun(w http.ResponseWriter, r *http.Request) {
+	// Queued-but-not-launched submissions are checked first: after a
+	// finished run's name is reused for a queued resubmission, the
+	// abort targets the waiting entry, not the finished run.
+	if s.cfg.Scheduler != nil && s.cfg.Scheduler.Cancel(r.PathValue("name")) == nil {
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"name":   r.PathValue("name"),
+			"status": "dequeued",
+		})
+		return
+	}
 	run, ok := s.cfg.Engine.Get(r.PathValue("name"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no run named %q", r.PathValue("name"))
@@ -369,13 +412,30 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 // pattern of health endpoints that expose per-component detail rather
 // than a bare status code.
 type Health struct {
-	Status  string         `json:"status"`
-	Uptime  string         `json:"uptime"`
-	Engine  EngineHealth   `json:"engine"`
-	Store   StoreHealth    `json:"store"`
-	Router  RouterHealth   `json:"router"`
-	Journal *JournalHealth `json:"journal,omitempty"`
-	Demo    *DemoHealth    `json:"demo,omitempty"`
+	Status    string           `json:"status"`
+	Uptime    string           `json:"uptime"`
+	Engine    EngineHealth     `json:"engine"`
+	Store     StoreHealth      `json:"store"`
+	Router    RouterHealth     `json:"router"`
+	Journal   *JournalHealth   `json:"journal,omitempty"`
+	Scheduler *SchedulerHealth `json:"scheduler,omitempty"`
+	Demo      *DemoHealth      `json:"demo,omitempty"`
+}
+
+// SchedulerHealth reports the live experiment scheduler.
+type SchedulerHealth struct {
+	Queued        int     `json:"queued"`
+	Running       int     `json:"running"`
+	MaxConcurrent int     `json:"maxConcurrent"`
+	Capacity      float64 `json:"capacity"`
+	Version       uint64  `json:"version"`
+	// Launches and Dequeues count queue entries handed to the engine
+	// and withdrawn before launch, over the daemon's lifetime.
+	Launches int64 `json:"launches"`
+	Dequeues int64 `json:"dequeues"`
+	// JournalErrors counts queue lifecycle records that failed to reach
+	// the write-ahead journal.
+	JournalErrors int64 `json:"journalErrors"`
 }
 
 // EngineHealth reports the Bifrost engine.
@@ -449,6 +509,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Segments:    stats.Segments,
 			Syncs:       stats.Syncs,
 			Truncations: stats.Truncations,
+		}
+	}
+	if s.cfg.Scheduler != nil {
+		snap := s.cfg.Scheduler.Snapshot()
+		h.Scheduler = &SchedulerHealth{
+			Queued:        len(snap.Queue),
+			Running:       len(snap.Running),
+			MaxConcurrent: snap.MaxConcurrent,
+			Capacity:      snap.Capacity,
+			Version:       snap.Version,
+			Launches:      s.cfg.Scheduler.Launches(),
+			Dequeues:      s.cfg.Scheduler.Dequeues(),
+			JournalErrors: s.cfg.Scheduler.JournalErrors(),
 		}
 	}
 	if s.demo != nil {
