@@ -13,6 +13,8 @@
 //	--check-interval 5s      default check interval for strategies
 //	--max-concurrent 4       concurrently enacting strategies ceiling
 //	--capacity 0.8           aggregate candidate-traffic share ceiling
+//	--trace-buffer 100000    span cap of the live trace collector;
+//	                         0 disables the topology pipeline
 //	--demo                   boot the simulated shop and drive traffic
 //	--demo-rps 25            demo request rate
 //	--demo-latency-scale 0.1 demo latency compression factor
@@ -37,6 +39,12 @@
 // docs/PERSISTENCE.md), and strategies that were queued but not yet
 // launched are restored to the queue (see docs/SCHEDULING.md).
 //
+// With --trace-buffer > 0 (the default) the daemon runs the live
+// topology pipeline of docs/HEALTH.md: spans stream in from the demo
+// backends or POST /v1/spans, a bounded collector assembles them into
+// traces, and per-run baseline/candidate interaction graphs answer
+// `kind = topology` checks and GET /v1/runs/{name}/health.
+//
 // Every submission goes through the live scheduler: strategies whose
 // conflict footprint (service, user groups, capacity, max-concurrency)
 // is clear launch immediately, the rest queue and are placed on the
@@ -58,10 +66,12 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/health"
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
 	"contexp/internal/server"
+	"contexp/internal/tracing"
 )
 
 type options struct {
@@ -70,6 +80,7 @@ type options struct {
 	checkInterval time.Duration
 	maxConcurrent int
 	capacity      float64
+	traceBuffer   int
 	demo          bool
 	demoRPS       float64
 	demoScale     float64
@@ -90,6 +101,8 @@ func parseFlags(args []string) (*options, error) {
 		"maximum number of concurrently enacting strategies")
 	fs.Float64Var(&opt.capacity, "capacity", 0.8,
 		"aggregate candidate-traffic share ceiling across concurrent runs (0,1]")
+	fs.IntVar(&opt.traceBuffer, "trace-buffer", 100_000,
+		"span cap of the live trace collector feeding topology checks; 0 disables live tracing")
 	fs.BoolVar(&opt.demo, "demo", false,
 		"boot the simulated shop behind routing proxies and drive traffic")
 	fs.Float64Var(&opt.demoRPS, "demo-rps", 25, "demo request rate (requests/second)")
@@ -114,6 +127,9 @@ func parseFlags(args []string) (*options, error) {
 	if opt.capacity <= 0 || opt.capacity > 1 {
 		return nil, errors.New("--capacity must be in (0,1]")
 	}
+	if opt.traceBuffer < 0 {
+		return nil, errors.New("--trace-buffer must be >= 0")
+	}
 	return opt, nil
 }
 
@@ -133,6 +149,17 @@ func run(args []string) error {
 	table := router.NewTable()
 	store := metrics.NewStore(0)
 
+	// Live topology pipeline: a bounded span collector plus the monitor
+	// folding settled traces into per-run interaction graphs. Disabled
+	// entirely with --trace-buffer 0, in which case strategies with
+	// topology checks are rejected at launch.
+	var collector *tracing.LiveCollector
+	var monitor *health.Monitor
+	if opt.traceBuffer > 0 {
+		collector = tracing.NewLiveCollector(opt.traceBuffer)
+		monitor = health.NewMonitor(collector, 0)
+	}
+
 	// Run state: durable (file journal + crash recovery) with
 	// --data-dir; without it runs live in process memory only, with no
 	// journal copy to maintain.
@@ -146,12 +173,18 @@ func run(args []string) error {
 		jnl = fileLog
 	}
 
-	engine, err := bifrost.NewEngine(bifrost.Config{
+	engineCfg := bifrost.Config{
 		Table:                table,
 		Store:                store,
 		DefaultCheckInterval: opt.checkInterval,
 		Journal:              jnl,
-	})
+	}
+	if monitor != nil {
+		// Assign through a typed check so a nil *health.Monitor never
+		// becomes a non-nil interface.
+		engineCfg.Topology = monitor
+	}
+	engine, err := bifrost.NewEngine(engineCfg)
 	if err != nil {
 		return err
 	}
@@ -205,6 +238,7 @@ func run(args []string) error {
 
 	srv, err := server.New(server.Config{
 		Engine: engine, Table: table, Store: store, Journal: jnl, Scheduler: sched,
+		Traces: collector, Health: monitor,
 	})
 	if err != nil {
 		return err
@@ -220,6 +254,7 @@ func run(args []string) error {
 			PopulationSize: opt.demoPop,
 			Seed:           opt.demoSeed,
 			Enact:          opt.demoEnact,
+			Traces:         collector,
 		})
 		if err != nil {
 			return err

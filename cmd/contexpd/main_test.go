@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/health"
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
+	"contexp/internal/tracing"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -65,6 +67,19 @@ func TestParseFlags(t *testing.T) {
 	t.Run("nonpositive check interval rejected", func(t *testing.T) {
 		if _, err := parseFlags([]string{"--check-interval", "0s"}); err == nil {
 			t.Error("expected error for zero check interval")
+		}
+	})
+
+	t.Run("trace buffer", func(t *testing.T) {
+		opt, err := parseFlags(nil)
+		if err != nil || opt.traceBuffer != 100_000 {
+			t.Errorf("default trace buffer = %d, %v", opt.traceBuffer, err)
+		}
+		if opt, _ := parseFlags([]string{"--trace-buffer", "0"}); opt.traceBuffer != 0 {
+			t.Errorf("trace buffer = %d, want 0 (disabled)", opt.traceBuffer)
+		}
+		if _, err := parseFlags([]string{"--trace-buffer", "-1"}); err == nil {
+			t.Error("expected error for negative trace buffer")
 		}
 	})
 
@@ -319,6 +334,183 @@ strategy "` + name + `" {
 	}
 	if len(snap.Queue) != 1 || snap.Queue[0].Name != "pending" || !snap.Queue[0].Recovered {
 		t.Errorf("queue = %+v, want the recovered pending submission", snap.Queue)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
+// TestDataDirTopologyVerdictRecoveryOverHTTP is the topology-gate
+// crash-recovery flow: process one journals a topology verdict (the
+// structural check trips, failing the phase into a goto'd hold phase),
+// then dies mid-hold. The daemon booted on the same --data-dir replays
+// the verdict from the journal instead of re-evaluating it — the traces
+// that produced it died with the old process — and resumes the run in
+// the hold phase without re-entering the concluded one.
+func TestDataDirTopologyVerdictRecoveryOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+
+	// Process one: engine with a live topology pipeline and a file
+	// journal.
+	log1, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	collector := tracing.NewLiveCollector(10_000)
+	monitor := health.NewMonitor(collector, -1) // harvest immediately
+	engine, err := bifrost.NewEngine(bifrost.Config{
+		Table: table, Store: store, Journal: log1, Topology: monitor,
+		DefaultCheckInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategy, err := bifrost.ParseStrategy(`
+strategy "topo-crashy" {
+    service   = "svc"
+    baseline  = "v1"
+    candidate = "v2"
+    phase "gate" {
+        practice = canary
+        traffic  = 50%
+        duration = 30s
+        check "structure" {
+            kind       = topology
+            min-traces = 1
+            interval   = 50ms
+        }
+        on failure -> phase "hold"
+    }
+    phase "hold" {
+        practice = canary
+        traffic  = 50%
+        duration = 30s
+        on inconclusive -> retry
+        max-retries = 10
+        on success -> promote
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRun, err := engine.Launch(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed one baseline trace and one candidate trace whose topology
+	// shows a disallowed structural change (a new dependency), so the
+	// gate phase's check fails and the run transitions to "hold".
+	mkSpan := func(trace, span, parent uint64, svc, ver, ep string) tracing.Span {
+		return tracing.Span{
+			TraceID: tracing.TraceID(trace), SpanID: tracing.SpanID(span),
+			ParentID: tracing.SpanID(parent), Service: svc, Version: ver,
+			Endpoint: ep, Start: time.Now(), Duration: time.Millisecond,
+		}
+	}
+	collector.Record(mkSpan(1, 1, 0, "svc", "v1", "GET /x"))
+	collector.Record(mkSpan(2, 2, 0, "svc", "v2", "GET /x"))
+	collector.Record(mkSpan(2, 3, 2, "billing", "v1", "POST /charge"))
+
+	// Wait until the verdict concluded the gate phase and the run sits
+	// in the hold phase, then "die" mid-phase.
+	deadline := time.Now().Add(5 * time.Second)
+	verdicts := func(events []bifrost.Event) int {
+		n := 0
+		for _, ev := range events {
+			if ev.Type == bifrost.EventTopologyVerdict {
+				n++
+			}
+		}
+		return n
+	}
+	for {
+		if liveRun.CurrentPhase() == "hold" && verdicts(liveRun.Events()) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never reached the hold phase (phase %q, events %d)",
+				liveRun.CurrentPhase(), len(liveRun.Events()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	preVerdicts := verdicts(liveRun.Events())
+	if err := log1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process two: the real daemon on the same data dir. Its collector
+	// is empty — if recovery re-evaluated the gate's topology check it
+	// could never reproduce the verdict.
+	addr := freeAddr(t)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"--addr", addr, "--data-dir", dir})
+	}()
+
+	base := "http://" + addr
+	var detail struct {
+		Status    string `json:"status"`
+		Phase     string `json:"phase"`
+		Recovered bool   `json:"recovered"`
+		EventLog  []struct {
+			Type  string `json:"type"`
+			Phase string `json:"phase"`
+		} `json:"eventLog"`
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/runs/topo-crashy")
+		if err == nil {
+			decodeErr := json.NewDecoder(resp.Body).Decode(&detail)
+			resp.Body.Close()
+			if decodeErr == nil && resp.StatusCode == http.StatusOK && detail.Status == "running" {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never served the recovered run")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !detail.Recovered {
+		t.Error("run not marked recovered")
+	}
+	// The run resumed in the hold phase: the gate phase's journaled
+	// outcome (decided by the topology verdict) was honored, not
+	// re-evaluated.
+	if detail.Phase != "hold" {
+		t.Errorf("resumed phase = %q, want hold", detail.Phase)
+	}
+	var postVerdicts, gateEntries int
+	for _, ev := range detail.EventLog {
+		if ev.Type == string(bifrost.EventTopologyVerdict) {
+			postVerdicts++
+		}
+		if ev.Type == string(bifrost.EventPhaseEntered) && ev.Phase == "gate" {
+			gateEntries++
+		}
+	}
+	if postVerdicts != preVerdicts {
+		t.Errorf("verdicts after recovery = %d, want %d (the journaled verdict, not a re-evaluation)",
+			postVerdicts, preVerdicts)
+	}
+	if gateEntries != 1 {
+		t.Errorf("gate phase entered %d times, want 1 (concluded phase must not re-run)", gateEntries)
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {

@@ -7,6 +7,7 @@
 //	expctl fmt strategy.exp          # print the canonical DSL form
 //	expctl runs [--addr URL]         # list runs on a daemon, launch order
 //	expctl events <run> [--addr URL] # print a run's full event history
+//	expctl health <run> [--addr URL] # live topology assessment of a run
 //	expctl schedule [--addr URL]     # live schedule: running, queue, Gantt
 //	expctl queue [--addr URL]        # queued submissions only
 //
@@ -37,7 +38,7 @@ func main() {
 	}
 }
 
-const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl <runs|schedule|queue> [--addr URL] | expctl events <run> [--addr URL]"
+const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl <runs|schedule|queue> [--addr URL] | expctl <events|health> <run> [--addr URL]"
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
@@ -67,6 +68,15 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("usage: expctl events <run> [--addr URL]")
 		}
 		return showEvents(addr, rest[0], out)
+	case "health":
+		addr, rest, err := parseHTTPFlags("health", args[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: expctl health <run> [--addr URL]")
+		}
+		return showHealth(addr, rest[0], out)
 	case "schedule", "queue":
 		addr, rest, err := parseHTTPFlags(cmd, args[1:])
 		if err != nil {
@@ -309,6 +319,35 @@ func showQueue(addr string, out io.Writer) error {
 		return err
 	}
 	printQueue(view.Queue, out)
+	return nil
+}
+
+// showHealth prints a run's live topology assessment: the evidence
+// base, then the daemon-rendered report (diff + heuristic rankings).
+func showHealth(addr, name string, out io.Writer) error {
+	var view struct {
+		Run             string `json:"run"`
+		Service         string `json:"service"`
+		Baseline        string `json:"baseline"`
+		Candidate       string `json:"candidate"`
+		Frozen          bool   `json:"frozen"`
+		BaselineTraces  int    `json:"baselineTraces"`
+		CandidateTraces int    `json:"candidateTraces"`
+		SkippedTraces   int    `json:"skippedTraces"`
+		Report          string `json:"report"`
+	}
+	if err := getJSON(addr, "/v1/runs/"+url.PathEscape(name)+"/health", &view); err != nil {
+		return err
+	}
+	state := "live"
+	if view.Frozen {
+		state = "frozen"
+	}
+	fmt.Fprintf(out, "run %q — topology assessment (%s)\n", view.Run, state)
+	fmt.Fprintf(out, "service %s (%s -> %s): %d baseline traces, %d candidate traces, %d without signal\n\n",
+		view.Service, view.Baseline, view.Candidate,
+		view.BaselineTraces, view.CandidateTraces, view.SkippedTraces)
+	fmt.Fprint(out, view.Report)
 	return nil
 }
 

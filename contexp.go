@@ -21,6 +21,8 @@
 package contexp
 
 import (
+	"time"
+
 	"contexp/internal/bifrost"
 	"contexp/internal/expmodel"
 	"contexp/internal/fenrir"
@@ -28,6 +30,7 @@ import (
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
+	"contexp/internal/tracing"
 	"contexp/internal/traffic"
 )
 
@@ -123,6 +126,35 @@ var RankChanges = health.Rank
 
 // AllRankingHeuristics returns the six heuristic variations.
 var AllRankingHeuristics = health.AllHeuristics
+
+// --- Live analysis (topology-aware health, docs/HEALTH.md) ---
+
+type (
+	// LiveSpanCollector is the bounded, sharded span sink of the live
+	// data plane.
+	LiveSpanCollector = tracing.LiveCollector
+	// HealthMonitor folds settled traces into per-run interaction
+	// graphs and answers topology checks; it satisfies the engine's
+	// TopologyAssessor (EngineConfig.Topology).
+	HealthMonitor = health.Monitor
+	// TopologyAssessor is the engine's seam for structural verdicts.
+	TopologyAssessor = bifrost.TopologyAssessor
+	// TopologyVerdict is one live structural verdict.
+	TopologyVerdict = health.LiveVerdict
+)
+
+// NewLiveSpanCollector creates a span collector bounded to cap spans
+// (cap <= 0 is unbounded).
+func NewLiveSpanCollector(cap int) *LiveSpanCollector { return tracing.NewLiveCollector(cap) }
+
+// NewHealthMonitor creates a live assessment monitor over a collector.
+// A settle of 0 uses the default span-quiet window.
+func NewHealthMonitor(c *LiveSpanCollector, settle time.Duration) *HealthMonitor {
+	return health.NewMonitor(c, settle)
+}
+
+// HeuristicByName resolves a ranking heuristic by its canonical name.
+var HeuristicByName = health.HeuristicByName
 
 // --- Substrates users compose with ---
 

@@ -1,25 +1,58 @@
 // Health-assessment example: the topology-aware analysis of Chapter 5
-// applied to a release of the simulated shop. Traces of the baseline
-// and experimental user populations are turned into interaction
-// graphs, diffed, and the identified changes are ranked by all six
-// heuristics.
+// running live. The simulated shop is deployed as real HTTP servers
+// behind routing proxies, spans stream through the bounded live
+// collector, and a strategy gating on `kind = topology` is submitted to
+// the control-plane API. The candidate recommender (v2) secretly calls
+// the users service — a structural change its latency does not reveal —
+// so the topology check trips and the engine rolls the release back.
+// The live assessment is then read back from GET /v1/runs/{name}/health,
+// exactly as `expctl health` would.
 //
 //	go run ./examples/healthcheck
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"contexp/internal/bifrost"
 	"contexp/internal/health"
 	"contexp/internal/metrics"
 	"contexp/internal/microsim"
 	"contexp/internal/router"
-	"contexp/internal/stats"
-	"contexp/internal/topology"
+	"contexp/internal/server"
 	"contexp/internal/tracing"
 )
+
+const strategyDSL = `
+strategy "rec-v2-structural" {
+    service   = "recommendation"
+    baseline  = "v1"
+    candidate = "v2"
+    phase "canary" {
+        practice    = canary
+        traffic     = 50%
+        duration    = 30s
+        check "structure" {
+            kind       = topology
+            heuristic  = "subtree-weighted"
+            min-traces = 10
+            allow      = updated-callee-version, updated-caller-version, updated-version
+            interval   = 250ms
+        }
+        on failure      -> rollback
+        on inconclusive -> retry
+        max-retries = 5
+    }
+}
+`
 
 func main() {
 	if err := run(); err != nil {
@@ -29,65 +62,124 @@ func main() {
 }
 
 func run() error {
+	// The live pipeline: routing table, metric store, bounded span
+	// collector, and the monitor folding settled traces into per-run
+	// interaction graphs.
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	collector := tracing.NewLiveCollector(50_000)
+	monitor := health.NewMonitor(collector, 100*time.Millisecond)
+
+	engine, err := bifrost.NewEngine(bifrost.Config{
+		Table: table, Store: store, Topology: monitor,
+		DefaultCheckInterval: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Engine: engine, Table: table, Store: store,
+		Traces: collector, Health: monitor,
+	})
+	if err != nil {
+		return err
+	}
+	api := httptest.NewServer(srv.Handler())
+	defer api.Close()
+
+	// Deploy the shop as real HTTP servers emitting spans.
 	app, err := microsim.ShopApplication()
 	if err != nil {
 		return err
 	}
-	// Inject a latency regression into the new recommender so the
-	// response-time heuristics have something to find.
-	sv, err := app.Lookup("recommendation", "v2")
+	if err := microsim.InstallBaselineRoutes(app, table); err != nil {
+		return err
+	}
+	shop, err := microsim.StartHTTP(app, table, store, microsim.HTTPConfig{
+		LatencyScale: 0.02, Seed: 1, Traces: collector,
+	})
 	if err != nil {
 		return err
 	}
-	sv.Endpoints["GET /recommendations"].Latency = stats.LogNormalFromMeanP95(60, 150)
+	defer shop.Close()
 
-	collect := func(useV2 bool, variant tracing.Variant) (*topology.Graph, error) {
-		table := router.NewTable()
-		if err := microsim.InstallBaselineRoutes(app, table); err != nil {
-			return nil, err
-		}
-		if useV2 {
-			if err := table.SetWeights("recommendation", []router.Backend{
-				{Version: "v2", Weight: 1},
-			}); err != nil {
-				return nil, err
-			}
-		}
-		collector := tracing.NewCollector()
-		sim := microsim.NewSim(app, table, collector, metrics.NewStore(1024), 1)
-		start := time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
-		for i := 0; i < 500; i++ {
-			req := &router.Request{UserID: fmt.Sprintf("user-%04d", i)}
-			if _, err := sim.Execute(req, start.Add(time.Duration(i)*time.Second)); err != nil {
-				return nil, err
-			}
-		}
-		return topology.Build(variant, collector.Traces("")), nil
-	}
+	// Drive user traffic at the entry proxy in the background; stop the
+	// driver (and wait for its in-flight request) before the shop closes.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go driveUsers(shop.EntryURL(), collector, stop, done)
+	defer func() { close(stop); <-done }()
 
-	base, err := collect(false, tracing.VariantBaseline)
+	// Submit the structural-gate strategy over the live API.
+	resp, err := http.Post(api.URL+"/v1/strategies", "text/plain", strings.NewReader(strategyDSL))
 	if err != nil {
 		return err
 	}
-	exp, err := collect(true, tracing.VariantExperiment)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("submit: %s: %s", resp.Status, body)
+	}
+	fmt.Println("submitted strategy \"rec-v2-structural\" (canary gated on check kind = topology)")
+
+	// Wait for the engine's verdict.
+	run, _ := engine.Get("rec-v2-structural")
+	select {
+	case <-run.Done():
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("strategy did not conclude in time")
+	}
+	fmt.Printf("run concluded: %s\n\n", run.Status())
+
+	// Read the live assessment back from the API.
+	hr, err := http.Get(api.URL + "/v1/runs/rec-v2-structural/health")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("baseline:     %s\n", base)
-	fmt.Printf("experimental: %s\n\n", exp)
+	defer hr.Body.Close()
+	var view health.AssessmentView
+	if err := json.NewDecoder(hr.Body).Decode(&view); err != nil {
+		return err
+	}
+	fmt.Printf("live assessment: %d baseline traces, %d candidate traces\n",
+		view.BaselineTraces, view.CandidateTraces)
+	fmt.Printf("baseline graph: %d nodes / %d edges; candidate graph: %d nodes / %d edges\n\n",
+		view.BaselineGraph.Nodes, view.BaselineGraph.Edges,
+		view.CandidateGraph.Nodes, view.CandidateGraph.Edges)
+	fmt.Println(view.Report)
 
-	diff := health.Compare(base, exp)
-	fmt.Println(diff.Render())
-
-	for _, h := range health.AllHeuristics() {
-		ranked := health.Rank(h, diff)
-		fmt.Printf("%-18s top changes:\n", h.Name())
-		for i, c := range ranked {
-			if i >= 3 {
-				break
-			}
-			fmt.Printf("  %d. %s\n", i+1, c)
+	for _, ev := range run.Events() {
+		if ev.Type == bifrost.EventTopologyVerdict && ev.Outcome == bifrost.OutcomeFail {
+			fmt.Printf("tripping verdict: %s\n", ev.Detail)
+			break
 		}
 	}
 	return nil
+}
+
+// driveUsers plays a small user population against the entry proxy,
+// minting one trace per request like a browser's traceparent.
+func driveUsers(entryURL string, collector *tracing.LiveCollector, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		req, err := http.NewRequest(http.MethodGet, entryURL, nil)
+		if err != nil {
+			return
+		}
+		req.Header.Set("X-User-ID", fmt.Sprintf("user-%04d", i%200))
+		req.Header.Set(router.HeaderTraceID,
+			strconv.FormatUint(uint64(collector.NextTraceID()), 16))
+		resp, err := client.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

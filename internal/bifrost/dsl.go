@@ -8,6 +8,7 @@ import (
 	"unicode"
 
 	"contexp/internal/expmodel"
+	"contexp/internal/health"
 	"contexp/internal/metrics"
 )
 
@@ -37,6 +38,13 @@ import (
 //	            scope     = relative
 //	            max       = 1.25
 //	            interval  = 15s
+//	        }
+//	        check "structure" {
+//	            kind       = topology
+//	            heuristic  = "subtree-weighted"
+//	            allow      = updated-callee-version, updated-caller-version
+//	            min-traces = 25
+//	            interval   = 30s
 //	        }
 //	        on success      -> phase "rollout"
 //	        on failure      -> rollback
@@ -403,23 +411,44 @@ func (p *parser) parseCheck() (*Check, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(tokLBrace, "{"); err != nil {
+	open, err := p.expect(tokLBrace, "{")
+	if err != nil {
 		return nil, err
 	}
 	c := &Check{Name: name.text, Scope: ScopeCandidate}
+	// seen tracks which attributes appeared, for duplicate detection on
+	// the topology attributes and for kind/attribute consistency checks
+	// once the whole block is parsed (attribute order is free, so `kind`
+	// may come last).
+	seen := make(map[string]bool)
 	for {
 		t := p.peek()
 		switch {
 		case t.kind == tokRBrace:
 			p.next()
+			if err := finishCheck(c, seen, open.line); err != nil {
+				return nil, err
+			}
 			return c, nil
 		case t.kind == tokEOF:
 			return nil, fmt.Errorf("bifrost: line %d: unexpected end of input in check %q", t.line, c.Name)
+		case t.kind == tokIdent && t.text == "allow":
+			if seen["allow"] {
+				return nil, fmt.Errorf("bifrost: line %d: duplicate attribute %q in check %q", t.line, "allow", c.Name)
+			}
+			seen["allow"] = true
+			if err := p.parseAllow(c); err != nil {
+				return nil, err
+			}
 		case t.kind == tokIdent:
 			key, val, err := p.parseAssignment()
 			if err != nil {
 				return nil, err
 			}
+			if topologyCheckAttr(key) && seen[key] {
+				return nil, fmt.Errorf("bifrost: line %d: duplicate attribute %q in check %q", val.line, key, c.Name)
+			}
+			seen[key] = true
 			if err := applyCheckAttr(c, key, val); err != nil {
 				return nil, err
 			}
@@ -429,8 +458,93 @@ func (p *parser) parseCheck() (*Check, error) {
 	}
 }
 
+// topologyCheckAttr reports whether an attribute belongs to the
+// topology check vocabulary (these are duplicate-checked strictly).
+func topologyCheckAttr(key string) bool {
+	switch key {
+	case "kind", "heuristic", "max-ranked-changes", "min-traces":
+		return true
+	default:
+		return false
+	}
+}
+
+// finishCheck enforces kind/attribute consistency after a check block
+// is fully parsed: topology checks reject the metric vocabulary and
+// vice versa.
+func finishCheck(c *Check, seen map[string]bool, line int) error {
+	if c.Kind == CheckTopology {
+		for _, key := range []string{"metric", "aggregate", "aggregation", "scope", "max", "min", "window"} {
+			if seen[key] {
+				return fmt.Errorf("bifrost: line %d: attribute %q is not valid on topology check %q", line, key, c.Name)
+			}
+		}
+		return nil
+	}
+	for _, key := range []string{"heuristic", "max-ranked-changes", "min-traces", "allow"} {
+		if seen[key] {
+			return fmt.Errorf("bifrost: line %d: attribute %q on check %q requires kind = topology", line, key, c.Name)
+		}
+	}
+	return nil
+}
+
+// parseAllow parses `allow = class, class, ...` on a topology check.
+func (p *parser) parseAllow(c *Check) error {
+	p.next() // "allow"
+	if _, err := p.expect(tokAssign, "="); err != nil {
+		return err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokString {
+			return fmt.Errorf("bifrost: line %d: expected change class, got %s", t.line, t)
+		}
+		if _, err := health.ParseChangeType(t.text); err != nil {
+			return fmt.Errorf("bifrost: line %d: %w", t.line, err)
+		}
+		c.Allow = append(c.Allow, t.text)
+		if p.peek().kind != tokComma {
+			return nil
+		}
+		p.next()
+	}
+}
+
 func applyCheckAttr(c *Check, key string, val token) error {
 	switch key {
+	case "kind":
+		switch strings.ToLower(val.text) {
+		case "metric":
+			c.Kind = CheckMetric
+		case "topology":
+			c.Kind = CheckTopology
+		default:
+			return fmt.Errorf("bifrost: line %d: unknown check kind %q (metric or topology)", val.line, val.text)
+		}
+	case "heuristic":
+		if _, err := health.HeuristicByName(val.text); err != nil {
+			return fmt.Errorf("bifrost: line %d: %w", val.line, err)
+		}
+		c.Heuristic = val.text
+	case "max-ranked-changes":
+		n, err := parseIntTok(val)
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("bifrost: line %d: max-ranked-changes must be >= 0", val.line)
+		}
+		c.MaxChanges = n
+	case "min-traces":
+		n, err := parseIntTok(val)
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("bifrost: line %d: min-traces must be >= 0", val.line)
+		}
+		c.MinTraces = n
 	case "metric":
 		c.Metric = val.text
 	case "aggregate", "aggregation":

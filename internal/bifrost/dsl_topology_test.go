@@ -1,0 +1,303 @@
+package bifrost
+
+import (
+	"strings"
+	"testing"
+)
+
+// topoDSL wraps one check body in a minimal valid strategy.
+func topoDSL(check string) string {
+	return `
+strategy "topo" {
+    service   = "rec"
+    baseline  = "v1"
+    candidate = "v2"
+    phase "canary" {
+        practice = canary
+        traffic  = 10%
+        duration = 1m
+        ` + check + `
+        on failure -> rollback
+    }
+}
+`
+}
+
+func TestParseTopologyCheck(t *testing.T) {
+	s, err := ParseStrategy(topoDSL(`
+        check "structure" {
+            kind       = topology
+            heuristic  = "hybrid-0.5"
+            max-ranked-changes = 2
+            min-traces = 25
+            allow      = updated-callee-version, updated-caller-version
+            interval   = 30s
+            failures   = 2
+        }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Phases[0].Checks[0]
+	if c.Kind != CheckTopology {
+		t.Fatalf("kind = %v", c.Kind)
+	}
+	if c.Heuristic != "hybrid-0.5" || c.MaxChanges != 2 || c.MinTraces != 25 {
+		t.Errorf("attrs = %+v", c)
+	}
+	if len(c.Allow) != 2 || c.Allow[0] != "updated-callee-version" || c.Allow[1] != "updated-caller-version" {
+		t.Errorf("allow = %v", c.Allow)
+	}
+	if c.FailuresToTrip != 2 {
+		t.Errorf("failures = %d", c.FailuresToTrip)
+	}
+}
+
+// TestParseTopologyCheckOrderIndependent moves `kind` to the end: the
+// attribute-consistency check must not depend on declaration order.
+func TestParseTopologyCheckOrderIndependent(t *testing.T) {
+	_, err := ParseStrategy(topoDSL(`
+        check "structure" {
+            heuristic = "subtree-size"
+            allow     = remove-call
+            kind      = topology
+        }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTopologyCheckErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		check string
+		want  string
+	}{
+		{
+			name: "unknown heuristic",
+			check: `check "s" {
+                kind      = topology
+                heuristic = "nonsense"
+            }`,
+			want: "unknown heuristic",
+		},
+		{
+			name: "unknown change class in allow",
+			check: `check "s" {
+                kind  = topology
+                allow = made-up-class
+            }`,
+			want: "unknown change class",
+		},
+		{
+			name: "bad scope value",
+			check: `check "s" {
+                kind  = topology
+                scope = sideways
+            }`,
+			want: "unknown check scope",
+		},
+		{
+			name: "scope not valid on topology checks",
+			check: `check "s" {
+                kind  = topology
+                scope = relative
+            }`,
+			want: `"scope" is not valid on topology check`,
+		},
+		{
+			name: "metric not valid on topology checks",
+			check: `check "s" {
+                kind   = topology
+                metric = response_time
+            }`,
+			want: `"metric" is not valid on topology check`,
+		},
+		{
+			name: "threshold not valid on topology checks",
+			check: `check "s" {
+                kind = topology
+                max  = 250
+            }`,
+			want: `"max" is not valid on topology check`,
+		},
+		{
+			name: "window not valid on topology checks",
+			check: `check "s" {
+                kind   = topology
+                window = 30s
+            }`,
+			want: `"window" is not valid on topology check`,
+		},
+		{
+			name: "duplicate heuristic",
+			check: `check "s" {
+                kind      = topology
+                heuristic = "subtree-size"
+                heuristic = "subtree-weighted"
+            }`,
+			want: `duplicate attribute "heuristic"`,
+		},
+		{
+			name: "duplicate kind",
+			check: `check "s" {
+                kind = topology
+                kind = topology
+            }`,
+			want: `duplicate attribute "kind"`,
+		},
+		{
+			name: "duplicate allow",
+			check: `check "s" {
+                kind  = topology
+                allow = remove-call
+                allow = remove-call
+            }`,
+			want: `duplicate attribute "allow"`,
+		},
+		{
+			name: "duplicate max-ranked-changes",
+			check: `check "s" {
+                kind = topology
+                max-ranked-changes = 1
+                max-ranked-changes = 2
+            }`,
+			want: `duplicate attribute "max-ranked-changes"`,
+		},
+		{
+			name: "negative max-ranked-changes rejected by lexer or parser",
+			check: `check "s" {
+                kind = topology
+                max-ranked-changes = 1.5
+            }`,
+			want: "bad integer",
+		},
+		{
+			name: "unknown kind",
+			check: `check "s" {
+                kind = vibes
+            }`,
+			want: "unknown check kind",
+		},
+		{
+			name: "topology attrs on metric check",
+			check: `check "s" {
+                metric    = response_time
+                aggregate = p95
+                max       = 250
+                heuristic = "subtree-size"
+            }`,
+			want: `requires kind = topology`,
+		},
+		{
+			name: "allow on metric check",
+			check: `check "s" {
+                metric    = response_time
+                aggregate = p95
+                max       = 250
+                allow     = remove-call
+            }`,
+			want: `requires kind = topology`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseStrategy(topoDSL(tc.check))
+			if err == nil {
+				t.Fatalf("parse accepted:\n%s", tc.check)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTopologyCheckRoundTrip verifies WriteDSL/ParseStrategy is a fixed
+// point for topology checks (the property expctl fmt relies on).
+func TestTopologyCheckRoundTrip(t *testing.T) {
+	variants := []string{
+		`check "full" {
+            kind       = topology
+            heuristic  = "hybrid-0.7"
+            max-ranked-changes = 3
+            min-traces = 40
+            allow      = updated-version, remove-call
+            interval   = 20s
+            failures   = 2
+        }`,
+		`check "minimal" {
+            kind = topology
+        }`,
+		`check "default-heuristic" {
+            kind       = topology
+            min-traces = 5
+        }`,
+	}
+	for _, v := range variants {
+		s, err := ParseStrategy(topoDSL(v))
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		canonical := WriteDSL(s)
+		s2, err := ParseStrategy(canonical)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, canonical)
+		}
+		if again := WriteDSL(s2); again != canonical {
+			t.Fatalf("not a fixed point:\nfirst:\n%s\nsecond:\n%s", canonical, again)
+		}
+		c1, c2 := s.Phases[0].Checks[0], s2.Phases[0].Checks[0]
+		if c1.Kind != c2.Kind || c1.Heuristic != c2.Heuristic ||
+			c1.MaxChanges != c2.MaxChanges || c1.MinTraces != c2.MinTraces ||
+			len(c1.Allow) != len(c2.Allow) {
+			t.Fatalf("round trip changed the check: %+v -> %+v", c1, c2)
+		}
+	}
+}
+
+func TestTopologyCheckStateMachineRendering(t *testing.T) {
+	s, err := ParseStrategy(topoDSL(`
+        check "structure" {
+            kind     = topology
+            allow    = updated-callee-version
+            interval = 30s
+        }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := s.StateMachine()
+	if !strings.Contains(sm, "topology(subtree-weighted)") ||
+		!strings.Contains(sm, "allow updated-callee-version") {
+		t.Errorf("state machine missing topology check:\n%s", sm)
+	}
+}
+
+func TestValidateProgrammaticTopologyCheck(t *testing.T) {
+	base := func() *Strategy {
+		s, err := ParseStrategy(topoDSL(`check "s" { kind = topology }`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := base()
+	s.Phases[0].Checks[0].Heuristic = "bogus"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown heuristic") {
+		t.Errorf("unknown heuristic not rejected: %v", err)
+	}
+	s = base()
+	s.Phases[0].Checks[0].Allow = []string{"bogus"}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown change class") {
+		t.Errorf("unknown change class not rejected: %v", err)
+	}
+	s = base()
+	s.Phases[0].Checks[0].Metric = "response_time"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "no metric") {
+		t.Errorf("metric on topology check not rejected: %v", err)
+	}
+	s = base()
+	s.Phases[0].Checks[0].MaxChanges = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative max-ranked-changes not rejected")
+	}
+}

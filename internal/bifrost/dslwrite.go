@@ -65,21 +65,39 @@ func writePhase(b *strings.Builder, p *Phase) {
 
 func writeCheck(b *strings.Builder, c *Check) {
 	fmt.Fprintf(b, "        check %q {\n", c.Name)
-	fmt.Fprintf(b, "            metric    = %s\n", c.Metric)
-	fmt.Fprintf(b, "            aggregate = %s\n", c.Aggregation)
-	switch c.Scope {
-	case ScopeBaseline:
-		b.WriteString("            scope     = baseline\n")
-	case ScopeRelative:
-		b.WriteString("            scope     = relative\n")
-	}
-	bound := "min"
-	if c.Upper {
-		bound = "max"
-	}
-	fmt.Fprintf(b, "            %s       = %g\n", bound, c.Threshold)
-	if c.Window > 0 {
-		fmt.Fprintf(b, "            window    = %s\n", duration(c.Window))
+	if c.Kind == CheckTopology {
+		b.WriteString("            kind      = topology\n")
+		if c.Heuristic != "" {
+			// Quoted: heuristic names like "hybrid-0.5" do not lex as one
+			// identifier.
+			fmt.Fprintf(b, "            heuristic = %q\n", c.Heuristic)
+		}
+		if c.MaxChanges > 0 {
+			fmt.Fprintf(b, "            max-ranked-changes = %d\n", c.MaxChanges)
+		}
+		if c.MinTraces > 0 {
+			fmt.Fprintf(b, "            min-traces = %d\n", c.MinTraces)
+		}
+		if len(c.Allow) > 0 {
+			fmt.Fprintf(b, "            allow     = %s\n", strings.Join(c.Allow, ", "))
+		}
+	} else {
+		fmt.Fprintf(b, "            metric    = %s\n", c.Metric)
+		fmt.Fprintf(b, "            aggregate = %s\n", c.Aggregation)
+		switch c.Scope {
+		case ScopeBaseline:
+			b.WriteString("            scope     = baseline\n")
+		case ScopeRelative:
+			b.WriteString("            scope     = relative\n")
+		}
+		bound := "min"
+		if c.Upper {
+			bound = "max"
+		}
+		fmt.Fprintf(b, "            %s       = %g\n", bound, c.Threshold)
+		if c.Window > 0 {
+			fmt.Fprintf(b, "            window    = %s\n", duration(c.Window))
+		}
 	}
 	if c.Interval > 0 {
 		fmt.Fprintf(b, "            interval  = %s\n", duration(c.Interval))

@@ -67,6 +67,16 @@ const (
 	EventRunFinished    EventType = "run-finished"
 	EventRolloutStep    EventType = "rollout-step"
 
+	// EventTopologyVerdict is the topology counterpart of
+	// EventCheckResult: one evaluation of a `kind = topology` check,
+	// carrying the structural verdict (change counts, evidence base, and
+	// the top-ranked disallowed changes) in its detail. Verdicts go
+	// through the write-ahead journal like every event, so recovery
+	// replays the structural decisions a crashed daemon already made
+	// instead of re-deriving them from traces that died with the
+	// process.
+	EventTopologyVerdict EventType = "topology-verdict"
+
 	// Queue lifecycle events. They are journaled by the Scheduler under
 	// the strategy's (future) run name before any run exists:
 	// EventRunQueued carries the strategy DSL (like EventRunLaunched) so
@@ -127,6 +137,12 @@ type Config struct {
 	// disables journaling: runs live only in process memory, the
 	// pre-journal behavior.
 	Journal journal.Journal
+	// Topology, when set, answers `kind = topology` checks from the live
+	// interaction-graph comparison (typically a *health.Monitor). Every
+	// launched run is registered with it so GET /v1/runs/{name}/health
+	// has data even for metric-only strategies. Nil rejects strategies
+	// with topology checks at launch.
+	Topology TopologyAssessor
 }
 
 // Engine executes live testing strategies concurrently: the Bifrost
@@ -135,6 +151,11 @@ type Config struct {
 // through the shared router table.
 type Engine struct {
 	cfg Config
+
+	// evaluators dispatches check evaluation by kind: the metric querier
+	// and the topology assessor are the built-in implementations behind
+	// the common CheckEvaluator seam.
+	evaluators map[CheckKind]CheckEvaluator
 
 	mu      sync.Mutex
 	runs    map[string]*Run
@@ -172,7 +193,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.SampleMetric == "" {
 		cfg.SampleMetric = "requests"
 	}
-	return &Engine{cfg: cfg, runs: make(map[string]*Run)}, nil
+	e := &Engine{cfg: cfg, runs: make(map[string]*Run)}
+	e.evaluators = map[CheckKind]CheckEvaluator{
+		CheckMetric:   metricEvaluator{e},
+		CheckTopology: topologyEvaluator{e},
+	}
+	return e, nil
 }
 
 // Run is one executing (or finished) strategy.
@@ -211,6 +237,9 @@ func (e *Engine) Launch(s *Strategy) (*Run, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if s.hasTopologyChecks() && e.cfg.Topology == nil {
+		return nil, fmt.Errorf("bifrost: %s: strategy gates on topology checks but the engine has no topology assessor (enable live tracing)", s.Name)
+	}
 	e.mu.Lock()
 	if existing, ok := e.runs[s.Name]; ok && existing.Status() == StatusRunning {
 		e.mu.Unlock()
@@ -234,6 +263,12 @@ func (e *Engine) Launch(s *Strategy) (*Run, error) {
 	e.nextSeq++
 	e.runs[s.Name] = run
 	e.mu.Unlock()
+
+	// Open the run's topology assessment before any traffic shifts, so
+	// the baseline graph already grows while the first phase routes.
+	if e.cfg.Topology != nil {
+		e.cfg.Topology.Register(s.Name, s.Service, s.Baseline, s.Candidate)
+	}
 
 	// Write-ahead: the launch record (carrying the strategy source) and
 	// the baseline routing intent hit the journal before the routing
@@ -506,6 +541,11 @@ func (r *Run) finish(status RunStatus, detail string) {
 	r.status = status
 	r.mu.Unlock()
 	r.recordWire(Event{At: e.cfg.Clock.Now(), Type: EventRunFinished, Detail: d}, "", status)
+	// Freeze the topology assessment so post-run traffic does not dilute
+	// the record of what the experiment observed.
+	if e.cfg.Topology != nil {
+		e.cfg.Topology.Freeze(r.strategy.Name)
+	}
 }
 
 // executePhase runs one phase to its conclusion. The bool result is
@@ -603,10 +643,21 @@ func (r *Run) observe(p *Phase, start time.Time, dur time.Duration) (Outcome, bo
 				continue
 			}
 			e.recordDelay(now.Sub(st.due))
-			outcome, value := e.evalCheck(r.strategy, p, st.check, now)
-			r.record(Event{At: now, Type: EventCheckResult, Phase: p.Name,
-				Check: st.check.Name, Outcome: outcome,
-				Detail: fmt.Sprintf("value=%.4g", value)})
+			res := e.evaluateCheck(r.strategy, p, st.check, now)
+			outcome := res.Outcome
+			// Topology verdicts are journaled as their own typed event so
+			// the structural decision trail survives crashes verbatim;
+			// metric checks keep their original check-result form.
+			evType := EventCheckResult
+			detail := fmt.Sprintf("value=%.4g", res.Value)
+			if st.check.Kind == CheckTopology {
+				evType = EventTopologyVerdict
+				detail = res.Detail
+			} else if res.Detail != "" {
+				detail += "; " + res.Detail
+			}
+			r.record(Event{At: now, Type: evType, Phase: p.Name,
+				Check: st.check.Name, Outcome: outcome, Detail: detail})
 			switch outcome {
 			case OutcomeFail:
 				st.failures++
@@ -644,8 +695,15 @@ func (r *Run) concludePhase(p *Phase, start, now time.Time) Outcome {
 	outcome := OutcomePass
 	for i := range p.Checks {
 		c := &p.Checks[i]
-		res, _ := e.evalCheck(r.strategy, p, c, now)
-		switch res {
+		res := e.evaluateCheck(r.strategy, p, c, now)
+		// Conclude-time topology verdicts are journaled like interval
+		// ones: the structural evidence that decided the phase must
+		// survive in the event trail.
+		if c.Kind == CheckTopology {
+			r.record(Event{At: now, Type: EventTopologyVerdict, Phase: p.Name,
+				Check: c.Name, Outcome: res.Outcome, Detail: res.Detail})
+		}
+		switch res.Outcome {
 		case OutcomeFail:
 			return OutcomeFail
 		case OutcomeInconclusive:
@@ -679,59 +737,20 @@ func (e *Engine) candidateScope(s *Strategy, p *Phase) metrics.Scope {
 	return scope
 }
 
-// evalCheck evaluates one check at `now` and returns the outcome plus
-// the observed value (candidate value for relative checks).
-func (e *Engine) evalCheck(s *Strategy, p *Phase, c *Check, now time.Time) (Outcome, float64) {
+// evaluateCheck evaluates one check at `now` through the evaluator for
+// its kind, with the engine's busy/delay instrumentation around it.
+func (e *Engine) evaluateCheck(s *Strategy, p *Phase, c *Check, now time.Time) CheckResult {
 	startEval := time.Now()
 	defer func() {
 		e.evalBusy.Add(int64(time.Since(startEval)))
 		e.evalCount.Add(1)
 	}()
-
-	window := c.Window
-	if window <= 0 {
-		window = e.checkInterval(c)
+	ev := e.evaluators[c.Kind]
+	if ev == nil {
+		return CheckResult{Outcome: OutcomeInconclusive,
+			Detail: fmt.Sprintf("no evaluator for check kind %v", c.Kind)}
 	}
-	since := now.Add(-window)
-
-	query := func(scope metrics.Scope) (float64, error) {
-		return e.cfg.Store.Query(c.Metric, scope, since, c.Aggregation)
-	}
-
-	switch c.Scope {
-	case ScopeBaseline:
-		v, err := query(metrics.Scope{Service: s.Service, Version: s.Baseline})
-		if err != nil {
-			return OutcomeInconclusive, 0
-		}
-		return compare(v, c), v
-	case ScopeRelative:
-		cand, err := query(e.candidateScope(s, p))
-		if err != nil {
-			return OutcomeInconclusive, 0
-		}
-		base, err := query(metrics.Scope{Service: s.Service, Version: s.Baseline})
-		if err != nil {
-			return OutcomeInconclusive, cand
-		}
-		bound := c.Threshold * base
-		if c.Upper {
-			if cand <= bound {
-				return OutcomePass, cand
-			}
-			return OutcomeFail, cand
-		}
-		if cand >= bound {
-			return OutcomePass, cand
-		}
-		return OutcomeFail, cand
-	default: // ScopeCandidate and zero value
-		v, err := query(e.candidateScope(s, p))
-		if err != nil {
-			return OutcomeInconclusive, 0
-		}
-		return compare(v, c), v
-	}
+	return ev.Evaluate(s, p, c, now)
 }
 
 func compare(v float64, c *Check) Outcome {

@@ -69,6 +69,43 @@ strategy "dark" {
 `)
 	f.Add(`strategy "x" { service = "s" baseline = "a" candidate = "b"
 phase "p" { practice = canary traffic = 10% duration = 1s } }`)
+	f.Add(`
+strategy "topo" {
+    service   = "rec"
+    baseline  = "v1"
+    candidate = "v2"
+    phase "canary" {
+        practice = canary
+        traffic  = 10%
+        duration = 10m
+        check "structure" {
+            kind       = topology
+            heuristic  = "hybrid-0.5"
+            max-ranked-changes = 2
+            min-traces = 25
+            allow      = updated-callee-version, updated-caller-version, updated-version
+            interval   = 30s
+            failures   = 2
+        }
+        on failure -> rollback
+    }
+}
+`)
+	f.Add(`strategy "t" { service = "s" baseline = "a" candidate = "b"
+phase "p" { practice = canary traffic = 10% duration = 1s
+check "c" { kind = topology } } }`)
+	f.Add(`strategy "t" { service = "s" baseline = "a" candidate = "b"
+phase "p" { practice = canary traffic = 10% duration = 1s
+check "c" { kind = topology heuristic = "nope" } } }`)
+	f.Add(`strategy "t" { service = "s" baseline = "a" candidate = "b"
+phase "p" { practice = canary traffic = 10% duration = 1s
+check "c" { kind = topology scope = relative } } }`)
+	f.Add(`strategy "t" { service = "s" baseline = "a" candidate = "b"
+phase "p" { practice = canary traffic = 10% duration = 1s
+check "c" { kind = topology allow = remove-call allow = remove-call } } }`)
+	f.Add(`strategy "t" { service = "s" baseline = "a" candidate = "b"
+phase "p" { practice = canary traffic = 10% duration = 1s
+check "c" { heuristic = "subtree-size" metric = m aggregate = mean max = 1 } } }`)
 	f.Add(`strategy "x" {`)
 	f.Add(`# comment only`)
 	f.Add(`strategy "" {}`)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"contexp/internal/expmodel"
+	"contexp/internal/health"
 	"contexp/internal/metrics"
 )
 
@@ -136,6 +137,34 @@ type Transition struct {
 	Target string
 }
 
+// CheckKind selects the signal source a check evaluates: the scalar
+// metric store or the live topology assessment. The zero value is
+// CheckMetric, so every pre-existing check keeps its meaning.
+type CheckKind int
+
+// Check kinds.
+const (
+	// CheckMetric evaluates an aggregated metric series against a
+	// threshold (the original Chapter 4 check).
+	CheckMetric CheckKind = iota
+	// CheckTopology evaluates the Chapter 5 structural comparison: the
+	// classified changes between the run's baseline and candidate
+	// interaction graphs, ranked by an impact heuristic.
+	CheckTopology
+)
+
+// String names the kind (the DSL's `kind` attribute values).
+func (k CheckKind) String() string {
+	switch k {
+	case CheckMetric:
+		return "metric"
+	case CheckTopology:
+		return "topology"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
 // CheckScope selects whose metrics a check reads.
 type CheckScope int
 
@@ -151,12 +180,16 @@ const (
 	ScopeRelative
 )
 
-// Check is one timed health criterion (Fig 4.3).
+// Check is one timed health criterion (Fig 4.3). Kind selects what it
+// evaluates: metric checks read the metric store, topology checks read
+// the live interaction-graph comparison.
 type Check struct {
 	// Name identifies the check in events and reports.
 	Name string
+	// Kind selects the signal source (default CheckMetric).
+	Kind CheckKind
 	// Metric is the series name in the metric store (e.g.
-	// "response_time").
+	// "response_time"). Metric checks only.
 	Metric string
 	// Aggregation reduces the window (mean, p95, ...).
 	Aggregation metrics.Aggregation
@@ -175,6 +208,23 @@ type Check struct {
 	// conclude the phase as failed (default 1: the paper's immediate
 	// rollback on spotted irregularities).
 	FailuresToTrip int
+
+	// Topology-check attributes (Kind == CheckTopology).
+
+	// Heuristic names the ranking heuristic ("" = the default,
+	// subtree-weighted). See health.HeuristicNames.
+	Heuristic string
+	// MaxChanges is the `max-ranked-changes` bound: the check fails once
+	// more than this many disallowed changes are observed (default 0:
+	// any disallowed structural change trips the check).
+	MaxChanges int
+	// MinTraces is how many traces each variant's graph needs before the
+	// check is decisive; fewer means inconclusive (default 1).
+	MinTraces int
+	// Allow lists change classes that do not count against MaxChanges —
+	// expected structure shifts such as "updated-callee-version" during
+	// a version rollout.
+	Allow []string
 }
 
 // Outcome of a check evaluation or a phase.
@@ -287,17 +337,54 @@ func (p *Phase) validate(strategy string) error {
 		if c.Name == "" {
 			return fmt.Errorf("bifrost: %s/%s: check %d without name", strategy, p.Name, i)
 		}
-		if c.Metric == "" {
-			return fmt.Errorf("bifrost: %s/%s/%s: metric is required", strategy, p.Name, c.Name)
-		}
-		if c.Aggregation == 0 {
-			return fmt.Errorf("bifrost: %s/%s/%s: aggregation is required", strategy, p.Name, c.Name)
-		}
-		if c.Scope == ScopeRelative && c.Threshold <= 0 {
-			return fmt.Errorf("bifrost: %s/%s/%s: relative checks need a positive factor", strategy, p.Name, c.Name)
+		switch c.Kind {
+		case CheckMetric:
+			if c.Metric == "" {
+				return fmt.Errorf("bifrost: %s/%s/%s: metric is required", strategy, p.Name, c.Name)
+			}
+			if c.Aggregation == 0 {
+				return fmt.Errorf("bifrost: %s/%s/%s: aggregation is required", strategy, p.Name, c.Name)
+			}
+			if c.Scope == ScopeRelative && c.Threshold <= 0 {
+				return fmt.Errorf("bifrost: %s/%s/%s: relative checks need a positive factor", strategy, p.Name, c.Name)
+			}
+		case CheckTopology:
+			if c.Metric != "" || c.Aggregation != 0 {
+				return fmt.Errorf("bifrost: %s/%s/%s: topology checks take no metric or aggregation", strategy, p.Name, c.Name)
+			}
+			if _, err := health.HeuristicByName(c.Heuristic); err != nil {
+				return fmt.Errorf("bifrost: %s/%s/%s: %w", strategy, p.Name, c.Name, err)
+			}
+			if c.MaxChanges < 0 {
+				return fmt.Errorf("bifrost: %s/%s/%s: max-ranked-changes must be >= 0", strategy, p.Name, c.Name)
+			}
+			if c.MinTraces < 0 {
+				return fmt.Errorf("bifrost: %s/%s/%s: min-traces must be >= 0", strategy, p.Name, c.Name)
+			}
+			for _, cls := range c.Allow {
+				if _, err := health.ParseChangeType(cls); err != nil {
+					return fmt.Errorf("bifrost: %s/%s/%s: %w", strategy, p.Name, c.Name, err)
+				}
+			}
+		default:
+			return fmt.Errorf("bifrost: %s/%s/%s: unknown check kind %v", strategy, p.Name, c.Name, c.Kind)
 		}
 	}
 	return nil
+}
+
+// hasTopologyChecks reports whether any phase gates on the live
+// topology assessment, which requires an engine with a configured
+// TopologyAssessor.
+func (s *Strategy) hasTopologyChecks() bool {
+	for i := range s.Phases {
+		for j := range s.Phases[i].Checks {
+			if s.Phases[i].Checks[j].Kind == CheckTopology {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // effective transition resolution -------------------------------------------------
@@ -358,6 +445,19 @@ func (s *Strategy) StateMachine() string {
 		}
 		b.WriteString("\n")
 		for _, c := range p.Checks {
+			if c.Kind == CheckTopology {
+				heuristic := c.Heuristic
+				if heuristic == "" {
+					heuristic = "subtree-weighted"
+				}
+				fmt.Fprintf(&b, "      check %s: topology(%s) ranked-changes <= %d",
+					c.Name, heuristic, c.MaxChanges)
+				if len(c.Allow) > 0 {
+					fmt.Fprintf(&b, " allow %s", strings.Join(c.Allow, ","))
+				}
+				fmt.Fprintf(&b, " every %s\n", c.Interval)
+				continue
+			}
 			op := ">="
 			if c.Upper {
 				op = "<="

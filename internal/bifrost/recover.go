@@ -156,6 +156,31 @@ func (e *Engine) Recover(j journal.Journal) (*RecoveryReport, error) {
 		e.runs[s.Name] = run
 		e.mu.Unlock()
 
+		// Re-open the topology assessment: traces died with the old
+		// process, so resumed runs start fresh graphs; terminal runs get
+		// a frozen (empty) assessment so their health surface answers.
+		if e.cfg.Topology != nil {
+			e.cfg.Topology.Register(s.Name, s.Service, s.Baseline, s.Candidate)
+			if rl.status != 0 {
+				e.cfg.Topology.Freeze(s.Name)
+			}
+		}
+
+		// A topology-gated run cannot make progress without an assessor
+		// (every verdict would be inconclusive until retries exhaust):
+		// mirror Launch's guard by settling it with a clear reason
+		// instead of letting it spin.
+		if rl.status == 0 && s.hasTopologyChecks() && e.cfg.Topology == nil {
+			now := e.cfg.Clock.Now()
+			run.record(Event{At: now, Type: EventTransition,
+				Detail: "crash-recovery: abort; strategy gates on topology checks but the engine has no topology assessor (live tracing disabled)"})
+			run.finish(StatusAborted, "crash recovery: topology checks unavailable without a topology assessor")
+			close(run.done)
+			rep.Settled++
+			report(StatusAborted, "aborted: topology checks need a topology assessor")
+			continue
+		}
+
 		if rl.status != 0 {
 			// Terminal before the crash: restore state and routing, no
 			// new events.

@@ -65,6 +65,28 @@ func (t ChangeType) String() string {
 	}
 }
 
+// ParseChangeType resolves a change-class name (the String() form, e.g.
+// "call-new-endpoint") back to its ChangeType — the form the DSL's
+// `allow` attribute uses.
+func ParseChangeType(name string) (ChangeType, error) {
+	for t := ChangeCallNewEndpoint; t <= ChangeUpdatedVersion; t++ {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("health: unknown change class %q (known: %s)",
+		name, strings.Join(ChangeClassNames(), ", "))
+}
+
+// ChangeClassNames lists every change class name in declaration order.
+func ChangeClassNames() []string {
+	out := make([]string, 0, int(ChangeUpdatedVersion))
+	for t := ChangeCallNewEndpoint; t <= ChangeUpdatedVersion; t++ {
+		out = append(out, t.String())
+	}
+	return out
+}
+
 // Uncertainty maps change types to the scalar weights of the paper's
 // uncertainty concept: consuming a completely new service introduces
 // more uncertainty than updating the version of an existing one, which

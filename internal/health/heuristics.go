@@ -24,6 +24,23 @@ type Heuristic interface {
 // Rank applies a heuristic and returns the changes ordered by
 // descending score (ties broken by change ID for determinism).
 func Rank(h Heuristic, d *Diff) []Change {
+	scored := RankScored(h, d)
+	out := make([]Change, len(scored))
+	for i, sc := range scored {
+		out[i] = sc.Change
+	}
+	return out
+}
+
+// ScoredChange is one change with its heuristic impact score.
+type ScoredChange struct {
+	Change
+	Score float64
+}
+
+// RankScored is Rank keeping each change's score, which the live
+// assessment surfaces so operators see how decisively a change ranked.
+func RankScored(h Heuristic, d *Diff) []ScoredChange {
 	scores := h.Score(d)
 	idx := make([]int, len(d.Changes))
 	for i := range idx {
@@ -35,11 +52,37 @@ func Rank(h Heuristic, d *Diff) []Change {
 		}
 		return d.Changes[idx[a]].ID() < d.Changes[idx[b]].ID()
 	})
-	out := make([]Change, len(idx))
+	out := make([]ScoredChange, len(idx))
 	for i, j := range idx {
-		out[i] = d.Changes[j]
+		out[i] = ScoredChange{Change: d.Changes[j], Score: scores[j]}
 	}
 	return out
+}
+
+// HeuristicByName resolves one of the six heuristic variations by its
+// Name() — the form the DSL's `heuristic` attribute uses. The empty
+// name resolves to the default (subtree-weighted, which needs no
+// latency counterpart and is therefore decisive earliest).
+func HeuristicByName(name string) (Heuristic, error) {
+	if name == "" {
+		return SubtreeComplexity{DepthWeighted: true}, nil
+	}
+	for _, h := range AllHeuristics() {
+		if h.Name() == name {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("health: unknown heuristic %q (known: %s)", name, strings.Join(HeuristicNames(), ", "))
+}
+
+// HeuristicNames lists the known heuristic variations in order.
+func HeuristicNames() []string {
+	all := AllHeuristics()
+	names := make([]string, len(all))
+	for i, h := range all {
+		names[i] = h.Name()
+	}
+	return names
 }
 
 // AllHeuristics returns the six variations evaluated in Section 5.7:

@@ -6,12 +6,14 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"contexp/internal/metrics"
 	"contexp/internal/router"
+	"contexp/internal/tracing"
 )
 
 // HTTPApplication deploys an Application as real HTTP servers on
@@ -27,9 +29,10 @@ import (
 // the metric store. Downstream calls go through the callee's proxy, so
 // every hop is subject to the experiment routing.
 type HTTPApplication struct {
-	app   *Application
-	table *router.Table
-	store *metrics.Store
+	app    *Application
+	table  *router.Table
+	store  *metrics.Store
+	traces *tracing.LiveCollector
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -49,6 +52,12 @@ type HTTPConfig struct {
 	LatencyScale float64
 	// Seed drives latency sampling and error injection.
 	Seed int64
+	// Traces, when set, receives one span per backend invocation: the
+	// backends join the trace identity the routing proxies stamp on
+	// requests (X-Trace-ID / X-Parent-Span) and self-report spans the
+	// same way they self-report metrics. Dark-launch mirror traffic is
+	// excluded, matching the in-process Sim.
+	Traces *tracing.LiveCollector
 }
 
 // StartHTTP boots the application. The caller owns table and store and
@@ -65,6 +74,7 @@ func StartHTTP(app *Application, table *router.Table, store *metrics.Store, cfg 
 		app:          app,
 		table:        table,
 		store:        store,
+		traces:       cfg.Traces,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		proxies:      make(map[string]*router.Proxy),
 		frontURL:     make(map[string]string),
@@ -173,6 +183,26 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 		}
 		start := time.Now()
 		ep := rt.ep
+		dark := r.Header.Get("X-Dark-Launch") == "true"
+
+		// Join the trace the routing proxy stamped on the request: the
+		// trace ID is inherited, the span ID is this invocation's own,
+		// and the parent is the calling backend's span. Dark-launch
+		// mirror traffic stays out of traces (matching Sim), so the
+		// user-visible trace is not broken by shadow spans.
+		var traceID tracing.TraceID
+		var spanID, parentID tracing.SpanID
+		if h.traces != nil && !dark {
+			if v, err := strconv.ParseUint(r.Header.Get(router.HeaderTraceID), 16, 64); err == nil {
+				traceID = tracing.TraceID(v)
+			}
+			if v, err := strconv.ParseUint(r.Header.Get(router.HeaderParentSpan), 16, 64); err == nil {
+				parentID = tracing.SpanID(v)
+			}
+			if traceID != 0 {
+				spanID = h.traces.NextSpanID()
+			}
+		}
 
 		h.mu.Lock()
 		ownMs := ep.Latency.Sample(h.rng) * h.latencyScale
@@ -196,11 +226,16 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 				continue
 			}
 			// Propagate the routing identity so sticky assignment holds
-			// across the whole call tree.
-			for _, header := range []string{"X-User-ID", "X-User-Groups"} {
+			// across the whole call tree, the trace identity so spans
+			// assemble end to end, and the dark-launch marker so a
+			// mirrored request's entire subtree stays shadow traffic.
+			for _, header := range []string{"X-User-ID", "X-User-Groups", router.HeaderTraceID, "X-Dark-Launch"} {
 				if v := r.Header.Get(header); v != "" {
 					req.Header.Set(header, v)
 				}
+			}
+			if spanID != 0 {
+				req.Header.Set(router.HeaderParentSpan, strconv.FormatUint(uint64(spanID), 16))
 			}
 			resp, err := client.Do(req)
 			if err != nil {
@@ -215,7 +250,7 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 		}
 
 		variant := ""
-		if r.Header.Get("X-Dark-Launch") == "true" {
+		if dark {
 			variant = "dark"
 		}
 		scope := metrics.Scope{Service: sv.Service, Version: sv.Version, Variant: variant}
@@ -233,6 +268,19 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 				n = 3
 			}
 			h.store.RecordBatch(batch[:n])
+		}
+		if spanID != 0 {
+			h.traces.Record(tracing.Span{
+				TraceID:  traceID,
+				SpanID:   spanID,
+				ParentID: parentID,
+				Service:  sv.Service,
+				Version:  sv.Version,
+				Endpoint: rt.method + " " + r.URL.Path,
+				Start:    start,
+				Duration: time.Since(start),
+				Err:      failed,
+			})
 		}
 		w.Header().Set("X-Version", sv.Version)
 		if failed {

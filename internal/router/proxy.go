@@ -3,14 +3,28 @@ package router
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"contexp/internal/expmodel"
+)
+
+// Tracing headers the data plane stamps on requests so backends can
+// emit spans that assemble into end-to-end traces:
+//
+//	X-Trace-ID     hex trace identifier; the entry proxy mints one when
+//	               the request arrives without it
+//	X-Parent-Span  hex span identifier of the calling backend's span
+//	X-Experiment-Version  the version the routing table resolved
+const (
+	HeaderTraceID    = "X-Trace-ID"
+	HeaderParentSpan = "X-Parent-Span"
 )
 
 // Proxy is the HTTP face of a routing Table: the lightweight
@@ -113,6 +127,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// not include mirror dispatch beyond the channel send.
 	if len(decision.Mirrors) > 0 {
 		p.enqueueMirrors(r, decision.Mirrors)
+	}
+	// Mint a trace identity at the edge: the first proxy a user request
+	// hits assigns the trace ID that every downstream span joins.
+	if r.Header.Get(HeaderTraceID) == "" {
+		r.Header.Set(HeaderTraceID, strconv.FormatUint(rand.Uint64()|1, 16))
 	}
 	r.Header.Set("X-Experiment-Version", decision.Version)
 	upstream.ServeHTTP(w, r)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"contexp/internal/metrics"
 	"contexp/internal/microsim"
 	"contexp/internal/router"
+	"contexp/internal/tracing"
 )
 
 // DemoStrategyDSL is the canary → gradual-rollout strategy the demo
@@ -81,6 +83,11 @@ type DemoConfig struct {
 	StrategyDSL string
 	// Enact, when true, submits the demo strategy immediately.
 	Enact bool
+	// Traces, when set, turns the live topology pipeline on: the shop's
+	// backends emit spans into the collector (joined by the trace IDs
+	// the load driver mints per user request), feeding `kind = topology`
+	// checks and GET /v1/runs/{name}/health.
+	Traces *tracing.LiveCollector
 }
 
 // Demo is a running demo environment: the simulated shop deployed as
@@ -126,6 +133,7 @@ func StartDemo(engine *bifrost.Engine, table *router.Table, store *metrics.Store
 	httpApp, err := microsim.StartHTTP(app, table, store, microsim.HTTPConfig{
 		LatencyScale: cfg.LatencyScale,
 		Seed:         cfg.Seed,
+		Traces:       cfg.Traces,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: starting shop servers: %w", err)
@@ -204,6 +212,12 @@ func (d *Demo) drive(ctx context.Context, pop *loadgen.Population, cfg DemoConfi
 		httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, d.entryURL, nil)
 		if err != nil {
 			return 0, false, err
+		}
+		// Mint the trace identity at the client, like a browser's
+		// traceparent: each generated user request is one trace.
+		if cfg.Traces != nil {
+			httpReq.Header.Set(router.HeaderTraceID,
+				strconv.FormatUint(uint64(cfg.Traces.NextTraceID()), 16))
 		}
 		httpReq.Header.Set("X-User-ID", req.UserID)
 		if len(req.Groups) > 0 {

@@ -15,6 +15,8 @@
 //	GET    /v1/schedule            scheduler queue + projected placement (?format=gantt)
 //	GET    /v1/schedule/events     stream schedule snapshots as server-sent events
 //	POST   /v1/metrics             ingest metric observations
+//	POST   /v1/spans               ingest trace spans (batched)
+//	GET    /v1/runs/{name}/health  live topology assessment of a run
 //	GET    /v1/routes              dump the routing table
 //	GET    /healthz                self-reported component health
 //
@@ -33,9 +35,11 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/health"
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
+	"contexp/internal/tracing"
 )
 
 // Config parameterizes a Server.
@@ -59,6 +63,14 @@ type Config struct {
 	// directly: conflicting strategies queue (202) rather than error,
 	// and the /v1/schedule surface comes alive. Optional.
 	Scheduler *bifrost.Scheduler
+	// Traces, when set, receives spans from POST /v1/spans — the span
+	// ingestion path real (non-simulated) services use — and is reported
+	// in /healthz. Optional.
+	Traces *tracing.LiveCollector
+	// Health, when set, serves the live topology assessment at
+	// GET /v1/runs/{name}/health. Optional; typically the same
+	// health.Monitor the engine's topology checks evaluate against.
+	Health *health.Monitor
 }
 
 // Server serves the control-plane API.
@@ -94,6 +106,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Scheduler != nil {
 		s.mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
 		s.mux.HandleFunc("GET /v1/schedule/events", s.handleScheduleEvents)
+	}
+	if cfg.Traces != nil {
+		s.mux.HandleFunc("POST /v1/spans", s.handleIngestSpans)
+	}
+	if cfg.Health != nil {
+		s.mux.HandleFunc("GET /v1/runs/{name}/health", s.handleRunHealth)
 	}
 	return s, nil
 }
@@ -419,7 +437,27 @@ type Health struct {
 	Router    RouterHealth     `json:"router"`
 	Journal   *JournalHealth   `json:"journal,omitempty"`
 	Scheduler *SchedulerHealth `json:"scheduler,omitempty"`
+	Tracing   *TracingHealth   `json:"tracing,omitempty"`
 	Demo      *DemoHealth      `json:"demo,omitempty"`
+}
+
+// TracingHealth reports the live span pipeline: the bounded collector
+// feeding the topology analysis plane. SpansDropped growing means the
+// interaction graphs see less traffic than the services served — the
+// structural twin of Proxy.MirrorDrops.
+type TracingHealth struct {
+	BufferedSpans int    `json:"bufferedSpans"`
+	PendingTraces int    `json:"pendingTraces"`
+	SpanCap       int    `json:"spanCap"`
+	SpansDropped  uint64 `json:"spansDropped"`
+	// HarvestedTraces counts traces handed to the analysis plane;
+	// FoldedTraces counts those that were valid and folded into graphs;
+	// BrokenTraces counts harvested traces failing validation.
+	HarvestedTraces int64 `json:"harvestedTraces"`
+	FoldedTraces    int64 `json:"foldedTraces"`
+	BrokenTraces    int64 `json:"brokenTraces"`
+	// MonitoredRuns is how many runs have a live topology assessment.
+	MonitoredRuns int `json:"monitoredRuns"`
 }
 
 // SchedulerHealth reports the live experiment scheduler.
@@ -523,6 +561,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Dequeues:      s.cfg.Scheduler.Dequeues(),
 			JournalErrors: s.cfg.Scheduler.JournalErrors(),
 		}
+	}
+	if s.cfg.Traces != nil {
+		th := &TracingHealth{
+			BufferedSpans:   s.cfg.Traces.SpanCount(),
+			PendingTraces:   s.cfg.Traces.PendingTraces(),
+			SpanCap:         s.cfg.Traces.Cap(),
+			SpansDropped:    s.cfg.Traces.Drops(),
+			HarvestedTraces: s.cfg.Traces.HarvestedTraces(),
+		}
+		if s.cfg.Health != nil {
+			th.FoldedTraces = s.cfg.Health.FoldedTraces()
+			th.BrokenTraces = s.cfg.Health.BrokenTraces()
+			th.MonitoredRuns = s.cfg.Health.Runs()
+		}
+		h.Tracing = th
 	}
 	if s.demo != nil {
 		h.Demo = s.demo.Health()

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"contexp/internal/tracing"
+)
+
+// This file is the tracing face of the control plane: batched span
+// ingestion into the bounded live collector (the Zipkin-ingest stand-in
+// of the Chapter 5 pipeline) and the per-run topology assessment
+// surface the analysis plane computes from those spans.
+
+// SpanObservation is one ingested span, the wire form of tracing.Span.
+// At defaults to the server's current time minus the duration.
+type SpanObservation struct {
+	TraceID  uint64    `json:"traceId"`
+	SpanID   uint64    `json:"spanId"`
+	ParentID uint64    `json:"parentId,omitempty"` // 0 for root spans
+	Service  string    `json:"service"`
+	Version  string    `json:"version"`
+	Endpoint string    `json:"endpoint"`
+	At       time.Time `json:"at,omitzero"`
+	// DurationMs is the span's duration in milliseconds.
+	DurationMs float64 `json:"durationMs"`
+	Error      bool    `json:"error,omitempty"`
+}
+
+// handleIngestSpans records a batch of spans into the live collector —
+// the ingestion path real instrumented services use in place of the
+// simulator's in-process self-reporting. Spans beyond the collector's
+// cap are dropped (and counted), never blocking the sender.
+func (s *Server) handleIngestSpans(w http.ResponseWriter, r *http.Request) {
+	var batch struct {
+		Spans []SpanObservation `json:"spans"`
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&batch); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch larger than %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(batch.Spans) == 0 {
+		writeError(w, http.StatusBadRequest, "no spans")
+		return
+	}
+	for i, o := range batch.Spans {
+		if o.TraceID == 0 || o.SpanID == 0 {
+			writeError(w, http.StatusBadRequest, "span %d: traceId and spanId are required", i)
+			return
+		}
+		if o.Service == "" || o.Version == "" || o.Endpoint == "" {
+			writeError(w, http.StatusBadRequest,
+				"span %d: service, version, and endpoint are required", i)
+			return
+		}
+	}
+	now := time.Now()
+	spans := make([]tracing.Span, len(batch.Spans))
+	for i, o := range batch.Spans {
+		dur := time.Duration(o.DurationMs * float64(time.Millisecond))
+		at := o.At
+		if at.IsZero() {
+			at = now.Add(-dur)
+		}
+		spans[i] = tracing.Span{
+			TraceID:  tracing.TraceID(o.TraceID),
+			SpanID:   tracing.SpanID(o.SpanID),
+			ParentID: tracing.SpanID(o.ParentID),
+			Service:  o.Service,
+			Version:  o.Version,
+			Endpoint: o.Endpoint,
+			Start:    at,
+			Duration: dur,
+			Err:      o.Error,
+		}
+	}
+	accepted := s.cfg.Traces.RecordBatch(spans)
+	writeJSON(w, http.StatusAccepted, map[string]int{
+		"accepted": accepted,
+		"dropped":  len(batch.Spans) - accepted,
+	})
+}
+
+// handleRunHealth serves the live topology assessment of one run: the
+// incremental baseline/candidate interaction graphs, the classified and
+// ranked changes, and the rendered report (?format=report for the text
+// form). The assessment exists for every run launched while live
+// tracing is enabled, metric-only strategies included.
+func (s *Server) handleRunHealth(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.cfg.Engine.Get(name); !ok {
+		writeError(w, http.StatusNotFound, "no run named %q", name)
+		return
+	}
+	view, err := s.cfg.Health.View(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("format") == "report" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(view.Report))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}

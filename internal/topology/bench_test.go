@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"contexp/internal/tracing"
+)
+
+// synthTraces builds n valid traces of `width` child spans each, spread
+// over `services` distinct services, mimicking the shape the live
+// collector harvests.
+func synthTraces(n, width, services int) []tracing.Trace {
+	out := make([]tracing.Trace, n)
+	for i := range out {
+		id := tracing.TraceID(i + 1)
+		start := time.Unix(int64(i), 0)
+		spans := []tracing.Span{{
+			TraceID: id, SpanID: 1,
+			Service: "frontend", Version: "v1", Endpoint: "GET /",
+			Start: start, Duration: 10 * time.Millisecond,
+		}}
+		for j := 0; j < width; j++ {
+			svc := fmt.Sprintf("svc-%03d", (i+j)%services)
+			spans = append(spans, tracing.Span{
+				TraceID: id, SpanID: tracing.SpanID(j + 2), ParentID: 1,
+				Service: svc, Version: "v1", Endpoint: "GET /op",
+				Start: start.Add(time.Duration(j) * time.Millisecond), Duration: 2 * time.Millisecond,
+			})
+		}
+		out[i] = tracing.Trace{ID: id, Spans: spans}
+	}
+	return out
+}
+
+// BenchmarkGraphBuild measures the full trace-set build: the cost the
+// analysis plane pays per harvested batch.
+func BenchmarkGraphBuild(b *testing.B) {
+	traces := synthTraces(2000, 6, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := Build(tracing.VariantBaseline, traces)
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkGraphAddTrace measures the incremental unit: folding one
+// trace into an already-populated graph, the steady-state cost of the
+// live pipeline.
+func BenchmarkGraphAddTrace(b *testing.B) {
+	warm := synthTraces(2000, 6, 40)
+	extra := synthTraces(1, 6, 40)
+	g := Build(tracing.VariantBaseline, warm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := extra[0]
+		tr.ID = tracing.TraceID(10_000 + i)
+		for j := range tr.Spans {
+			tr.Spans[j].TraceID = tr.ID
+		}
+		if err := g.AddTrace(&tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -89,13 +89,22 @@ func NewGraph(variant tracing.Variant) *Graph {
 func Build(variant tracing.Variant, traces []tracing.Trace) *Graph {
 	g := NewGraph(variant)
 	for i := range traces {
-		tr := &traces[i]
-		if err := tr.Validate(); err != nil {
-			continue
-		}
-		g.addTrace(tr)
+		_ = g.AddTrace(&traces[i])
 	}
 	return g
+}
+
+// AddTrace folds one trace into the graph incrementally — the unit of
+// work of the live analysis plane, which grows baseline and candidate
+// graphs trace by trace as the data plane hands settled traces over.
+// Broken traces are rejected with the validation error and leave the
+// graph untouched.
+func (g *Graph) AddTrace(tr *tracing.Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	g.addTrace(tr)
+	return nil
 }
 
 func (g *Graph) addTrace(tr *tracing.Trace) {

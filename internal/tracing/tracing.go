@@ -95,15 +95,33 @@ func (t *Trace) Duration() time.Duration {
 // It is the in-memory stand-in for a Zipkin/Jaeger backend. The zero
 // value is not usable; construct with NewCollector.
 type Collector struct {
-	mu     sync.Mutex
-	spans  map[TraceID][]Span
+	mu    sync.Mutex
+	spans map[TraceID][]Span
+	count int
+	// cap bounds buffered spans (0 = unbounded); drops counts spans
+	// discarded against it, exposed like router.Proxy.MirrorDrops.
+	cap    int
+	drops  atomic.Uint64
 	nextID atomic.Uint64
 }
 
-// NewCollector creates an empty Collector.
+// NewCollector creates an empty, unbounded Collector.
 func NewCollector() *Collector {
 	return &Collector{spans: make(map[TraceID][]Span)}
 }
+
+// SetCap bounds the collector to at most n buffered spans (0 removes
+// the bound). Spans recorded beyond the cap are dropped and counted.
+func (c *Collector) SetCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+}
+
+// Drops reports how many spans were discarded because the collector was
+// at its cap. A growing value means later traces are incomplete and the
+// topological analysis undercounts interactions.
+func (c *Collector) Drops() uint64 { return c.drops.Load() }
 
 // NextTraceID allocates a fresh trace identifier.
 func (c *Collector) NextTraceID() TraceID {
@@ -116,10 +134,16 @@ func (c *Collector) NextSpanID() SpanID {
 	return SpanID(c.nextID.Add(1))
 }
 
-// Record stores one finished span.
+// Record stores one finished span. When the collector is at its cap the
+// span is dropped and counted instead.
 func (c *Collector) Record(s Span) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.cap > 0 && c.count >= c.cap {
+		c.drops.Add(1)
+		return
+	}
+	c.count++
 	c.spans[s.TraceID] = append(c.spans[s.TraceID], s)
 }
 
@@ -157,18 +181,15 @@ func (c *Collector) Traces(variant Variant) []Trace {
 func (c *Collector) SpanCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var n int
-	for _, ss := range c.spans {
-		n += len(ss)
-	}
-	return n
+	return c.count
 }
 
-// Reset drops all collected spans.
+// Reset drops all collected spans (the cap and drop counter persist).
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.spans = make(map[TraceID][]Span)
+	c.count = 0
 }
 
 // MarshalJSON encodes the trace in a Zipkin-v2-like JSON array form, so
