@@ -21,6 +21,10 @@
 //	--demo-population 500    demo user population size
 //	--demo-seed 1            demo determinism seed
 //	--demo-enact             auto-submit the demo canary→rollout strategy
+//	--demo-faults ""         inject a builtin chaos scenario's fault
+//	                         schedule into the demo shop (error-storm,
+//	                         dependency-blackout, flash-crowd, ...);
+//	                         /healthz reports the live fault state
 //
 // With --demo the daemon is a self-contained system: the microservice
 // shop runs as real HTTP servers behind per-service routing proxies, a
@@ -69,7 +73,9 @@ import (
 	"contexp/internal/health"
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
+	"contexp/internal/microsim"
 	"contexp/internal/router"
+	"contexp/internal/scenario"
 	"contexp/internal/server"
 	"contexp/internal/tracing"
 )
@@ -87,6 +93,7 @@ type options struct {
 	demoPop       int
 	demoSeed      int64
 	demoEnact     bool
+	demoFaults    string
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -112,6 +119,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.Int64Var(&opt.demoSeed, "demo-seed", 1, "demo determinism seed")
 	fs.BoolVar(&opt.demoEnact, "demo-enact", true,
 		"with --demo, auto-submit the demo canary→rollout strategy")
+	fs.StringVar(&opt.demoFaults, "demo-faults", "",
+		fmt.Sprintf("with --demo, inject the named chaos scenario's fault schedule (one of %v)",
+			scenario.Names()))
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -130,7 +140,32 @@ func parseFlags(args []string) (*options, error) {
 	if opt.traceBuffer < 0 {
 		return nil, errors.New("--trace-buffer must be >= 0")
 	}
+	if opt.demoFaults != "" && !opt.demo {
+		return nil, errors.New("--demo-faults requires --demo")
+	}
 	return opt, nil
+}
+
+// demoScenarioTarget aims builtin chaos scenarios at the demo shop:
+// candidate-targeted faults hit the experimental recommender, ambient
+// faults hit the catalog service both recommender versions depend on.
+var demoScenarioTarget = scenario.Target{
+	Service: "recommendation", Candidate: "v2", Dependency: "catalog",
+}
+
+// demoInjector resolves --demo-faults into a fault injector anchored at
+// now. Scenarios without faults (steady, ramp, diurnal) yield nil.
+func demoInjector(name string, seed int64, now time.Time) (*microsim.Injector, error) {
+	spec, err := scenario.ByName(demoScenarioTarget, name)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := spec.Compile()
+	if err != nil {
+		return nil, err
+	}
+	sc.Seed = seed
+	return sc.Injector(now)
 }
 
 func main() {
@@ -248,6 +283,13 @@ func run(args []string) error {
 	defer stop()
 
 	if opt.demo {
+		var faults *microsim.Injector
+		if opt.demoFaults != "" {
+			faults, err = demoInjector(opt.demoFaults, opt.demoSeed, time.Now())
+			if err != nil {
+				return err
+			}
+		}
 		demo, err := server.StartDemo(engine, table, store, server.DemoConfig{
 			RPS:            opt.demoRPS,
 			LatencyScale:   opt.demoScale,
@@ -255,6 +297,10 @@ func run(args []string) error {
 			Seed:           opt.demoSeed,
 			Enact:          opt.demoEnact,
 			Traces:         collector,
+			Faults:         faults,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("demo: "+format+"\n", args...)
+			},
 		})
 		if err != nil {
 			return err
@@ -265,6 +311,12 @@ func run(args []string) error {
 			demo.EntryURL(), opt.demoRPS, opt.demoScale)
 		if opt.demoEnact {
 			fmt.Println("demo: enacted strategy \"demo-canary-rollout\" (canary → gradual rollout)")
+		}
+		if faults != nil {
+			fmt.Printf("demo: chaos scenario %q armed: %d fault(s), live state at /healthz\n",
+				opt.demoFaults, len(faults.Snapshot(time.Now())))
+		} else if opt.demoFaults != "" {
+			fmt.Printf("demo: scenario %q has no faults (traffic-shape only)\n", opt.demoFaults)
 		}
 	}
 

@@ -1,0 +1,132 @@
+package bifrost
+
+import (
+	"testing"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+)
+
+// seedWindow records `value` once per second for (metric, service,
+// version) over [from, to) relative to t0 — the time-shaped counterpart
+// of seedMetrics, for tests that inject mid-run shifts.
+func (h *harness) seedWindow(metric, service, version string, from, to time.Duration, value float64) {
+	scope := metrics.Scope{Service: service, Version: version}
+	for ts := from; ts < to; ts += time.Second {
+		h.store.Record(metric, scope, t0.Add(ts), value)
+	}
+}
+
+// relativeCanaryStrategy gates a 30% canary on candidate-vs-baseline
+// mean latency with a 2x budget: the scoping under test in the
+// false-positive table.
+func relativeCanaryStrategy() *Strategy {
+	return &Strategy{
+		Name: "fp-canary", Service: "catalog", Baseline: "v1", Candidate: "v2",
+		Phases: []Phase{{
+			Name: "canary", Practice: expmodel.PracticeCanary,
+			Traffic:  TrafficSpec{CandidateWeight: 0.3},
+			Duration: time.Minute,
+			Checks: []Check{{
+				Name: "relative-latency", Metric: "response_time",
+				Aggregation: metrics.AggMean, Scope: ScopeRelative,
+				Upper: true, Threshold: 2.0,
+				Window: 30 * time.Second, Interval: 10 * time.Second,
+				FailuresToTrip: 2,
+			}},
+			OnSuccess: Transition{Kind: TransitionPromote},
+		}},
+	}
+}
+
+// TestRelativeCheckFalsePositives is the false-positive/false-negative
+// table for metric-gated runs: ambient trouble that hits baseline and
+// candidate alike must NOT trip a relative check, while the same-shaped
+// fault confined to the candidate MUST. Each case seeds a latency
+// timeline per variant and asserts the graded outcome.
+func TestRelativeCheckFalsePositives(t *testing.T) {
+	const run = 2 * time.Minute
+	cases := []struct {
+		name string
+		seed func(h *harness)
+		want RunStatus
+	}{
+		{
+			// A 5x latency surge hits both variants for 30s (a flash
+			// crowd, an overloaded dependency): relative scoping cancels
+			// it out, the run promotes.
+			name: "ambient surge spares the canary",
+			seed: func(h *harness) {
+				for _, v := range []string{"v1", "v2"} {
+					h.seedWindow("response_time", "catalog", v, 0, 20*time.Second, 50)
+					h.seedWindow("response_time", "catalog", v, 20*time.Second, 50*time.Second, 250)
+					h.seedWindow("response_time", "catalog", v, 50*time.Second, run, 50)
+				}
+			},
+			want: StatusSucceeded,
+		},
+		{
+			// The same surge confined to the candidate is a real
+			// regression: the check must trip while the fault is live.
+			name: "candidate-only surge rolls back",
+			seed: func(h *harness) {
+				h.seedWindow("response_time", "catalog", "v1", 0, run, 50)
+				h.seedWindow("response_time", "catalog", "v2", 0, 20*time.Second, 50)
+				h.seedWindow("response_time", "catalog", "v2", 20*time.Second, 50*time.Second, 250)
+				h.seedWindow("response_time", "catalog", "v2", 50*time.Second, run, 50)
+			},
+			want: StatusRolledBack,
+		},
+		{
+			// A mild candidate slowdown inside the declared 2x budget is
+			// not a regression.
+			name: "candidate slowdown within budget promotes",
+			seed: func(h *harness) {
+				h.seedWindow("response_time", "catalog", "v1", 0, run, 50)
+				h.seedWindow("response_time", "catalog", "v2", 0, run, 75)
+			},
+			want: StatusSucceeded,
+		},
+		{
+			// A total ambient outage (10x latency on everything for the
+			// whole phase) still is not the canary's fault.
+			name: "sustained ambient degradation promotes",
+			seed: func(h *harness) {
+				for _, v := range []string{"v1", "v2"} {
+					h.seedWindow("response_time", "catalog", v, 0, run, 500)
+				}
+			},
+			want: StatusSucceeded,
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t)
+			tc.seed(h)
+			r, err := h.engine.Launch(relativeCanaryStrategy())
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.drive(t, r)
+			if r.Status() != tc.want {
+				t.Fatalf("status = %v, want %v; events: %+v", r.Status(), tc.want, r.Events())
+			}
+			if tc.want == StatusRolledBack {
+				// The trip must happen while the fault is live, not at
+				// the phase boundary.
+				var finished time.Time
+				for _, ev := range r.Events() {
+					if ev.Type == EventRunFinished {
+						finished = ev.At
+					}
+				}
+				if faultEnd := t0.Add(55 * time.Second); finished.After(faultEnd) {
+					t.Errorf("rollback landed at %v, after the fault window ended (%v)", finished, faultEnd)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"contexp/internal/clock"
 	"contexp/internal/topology"
 	"contexp/internal/tracing"
 )
@@ -30,6 +31,11 @@ type Monitor struct {
 	// settle is how long a trace must be span-quiet before it is
 	// harvested as complete.
 	settle time.Duration
+
+	// now stamps runAssessment.since at registration; overridable via
+	// UseClock so virtual-time harnesses can register runs at simulated
+	// instants instead of wall time.
+	now func() time.Time
 
 	mu     sync.Mutex
 	runs   map[string]*runAssessment
@@ -63,7 +69,17 @@ func NewMonitor(collector *tracing.LiveCollector, settle time.Duration) *Monitor
 	if settle < 0 {
 		settle = 0
 	}
-	return &Monitor{src: collector, settle: settle, runs: make(map[string]*runAssessment)}
+	return &Monitor{src: collector, settle: settle, now: time.Now, runs: make(map[string]*runAssessment)}
+}
+
+// UseClock makes the monitor stamp run registrations from clk instead of
+// wall time. Span timestamps are compared against that registration
+// instant, so a monitor fed virtual-time spans (the in-process Sim under
+// clock.Sim) must share the spans' notion of "now".
+func (m *Monitor) UseClock(clk clock.Clock) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = clk.Now
 }
 
 // Register starts (or restarts, on run-name reuse) topology assessment
@@ -78,7 +94,7 @@ func (m *Monitor) Register(run, service, baseline, candidate string) {
 	m.ingestLocked()
 	m.runs[run] = &runAssessment{
 		run: run, service: service, baseline: baseline, candidate: candidate,
-		since: time.Now(),
+		since: m.now(),
 		base:  topology.NewGraph(tracing.VariantBaseline),
 		cand:  topology.NewGraph(tracing.VariantExperiment),
 	}

@@ -121,8 +121,14 @@ func (p *Population) GroupShare(g expmodel.UserGroup) float64 {
 
 // Config parameterizes a load run.
 type Config struct {
-	// RPS is the mean arrival rate (requests per second).
+	// RPS is the mean arrival rate (requests per second). Ignored when
+	// Rate is set.
 	RPS float64
+	// Rate, when non-nil, replaces the constant RPS with a time-varying
+	// intensity (ramps, bursts, diurnal cycles, CSV replay — see Rate).
+	// Poisson arrivals are then sampled by thinning against the peak
+	// rate; Uniform arrivals space deterministically at 1/rate.
+	Rate Rate
 	// Duration is the (virtual) time span of the run.
 	Duration time.Duration
 	// Start is the virtual start instant.
@@ -144,6 +150,10 @@ type Config struct {
 	// MetricScope identifies the recording scope (default service
 	// "loadgen", version "client").
 	MetricScope metrics.Scope
+	// Logf, when non-nil, receives a start-of-run line carrying the RNG
+	// seed and arrival parameters, so any failure observed in CI can be
+	// reproduced byte-for-byte locally.
+	Logf func(format string, args ...any)
 }
 
 // flushEvery bounds the client-telemetry batch the generator buffers
@@ -193,7 +203,7 @@ func (r *Result) FailureRate() float64 {
 // instant. Wall-clock pacing is the caller's concern (the simulated
 // substrates need none).
 func Run(cfg Config, pop *Population, target Target) (*Result, error) {
-	if cfg.RPS <= 0 {
+	if cfg.RPS <= 0 && cfg.Rate == nil {
 		return nil, errors.New("loadgen: RPS must be positive")
 	}
 	if cfg.Duration <= 0 {
@@ -201,7 +211,6 @@ func Run(cfg Config, pop *Population, target Target) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{}
-	interval := time.Duration(float64(time.Second) / cfg.RPS)
 
 	metric := cfg.Metric
 	if metric == "" {
@@ -218,34 +227,96 @@ func Run(cfg Config, pop *Population, target Target) (*Result, error) {
 			pending = pending[:0]
 		}
 	}
-
-	at := cfg.Start
-	end := cfg.Start.Add(cfg.Duration)
-	for at.Before(end) {
+	issue := func(at time.Time) {
 		req := pop.Sample()
 		latency, failed, err := target.Do(req, at)
 		if err != nil {
 			res.Errors++
-		} else {
-			res.Samples = append(res.Samples, Sample{At: at, Latency: latency, Failed: failed})
-			if cfg.Store != nil {
-				pending = append(pending, metrics.Sample{
-					Metric: metric, Scope: scope, At: at,
-					Value: float64(latency) / float64(time.Millisecond),
-				})
-				if len(pending) >= flushEvery {
-					flush()
-				}
+			return
+		}
+		res.Samples = append(res.Samples, Sample{At: at, Latency: latency, Failed: failed})
+		if cfg.Store != nil {
+			pending = append(pending, metrics.Sample{
+				Metric: metric, Scope: scope, At: at,
+				Value: float64(latency) / float64(time.Millisecond),
+			})
+			if len(pending) >= flushEvery {
+				flush()
 			}
 		}
-		if cfg.Uniform {
-			at = at.Add(interval)
+	}
+
+	process := "poisson"
+	if cfg.Uniform {
+		process = "uniform"
+	}
+	if cfg.Logf != nil {
+		if cfg.Rate != nil {
+			cfg.Logf("loadgen: run start: seed=%d duration=%s process=%s rate=time-varying",
+				cfg.Seed, cfg.Duration, process)
 		} else {
-			gap := time.Duration(rng.ExpFloat64() * float64(interval))
-			if gap <= 0 {
-				gap = time.Nanosecond
+			cfg.Logf("loadgen: run start: seed=%d duration=%s process=%s rps=%g",
+				cfg.Seed, cfg.Duration, process, cfg.RPS)
+		}
+	}
+
+	at := cfg.Start
+	end := cfg.Start.Add(cfg.Duration)
+	switch {
+	case cfg.Rate == nil:
+		// Homogeneous process: the original, byte-for-byte stable path
+		// (thinning would consume extra RNG draws and shift every
+		// existing seeded arrival stream).
+		interval := time.Duration(float64(time.Second) / cfg.RPS)
+		for at.Before(end) {
+			issue(at)
+			if cfg.Uniform {
+				at = at.Add(interval)
+			} else {
+				gap := time.Duration(rng.ExpFloat64() * float64(interval))
+				if gap <= 0 {
+					gap = time.Nanosecond
+				}
+				at = at.Add(gap)
 			}
-			at = at.Add(gap)
+		}
+	case cfg.Uniform:
+		// Deterministic spacing at the instantaneous rate: the next
+		// arrival after t lands at t + 1/rate(t). Zero-rate stretches
+		// are skipped in bounded steps without issuing.
+		idle := cfg.Duration / maxRateScan
+		if idle < time.Millisecond {
+			idle = time.Millisecond
+		}
+		for at.Before(end) {
+			r := cfg.Rate(at.Sub(cfg.Start))
+			if r <= 0 {
+				at = at.Add(idle)
+				continue
+			}
+			issue(at)
+			at = at.Add(time.Duration(float64(time.Second) / r))
+		}
+	default:
+		// Non-homogeneous Poisson by Lewis-Shedler thinning: sample a
+		// homogeneous process at the peak rate, accept each candidate
+		// arrival with probability rate(t)/peak.
+		peak := peakRate(cfg.Rate, cfg.Duration)
+		if peak > 0 {
+			peakInterval := float64(time.Second) / peak
+			for {
+				gap := time.Duration(rng.ExpFloat64() * peakInterval)
+				if gap <= 0 {
+					gap = time.Nanosecond
+				}
+				at = at.Add(gap)
+				if !at.Before(end) {
+					break
+				}
+				if rng.Float64()*peak <= cfg.Rate(at.Sub(cfg.Start)) {
+					issue(at)
+				}
+			}
 		}
 	}
 	flush()

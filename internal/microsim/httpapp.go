@@ -33,6 +33,7 @@ type HTTPApplication struct {
 	table  *router.Table
 	store  *metrics.Store
 	traces *tracing.LiveCollector
+	faults *Injector
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -58,6 +59,11 @@ type HTTPConfig struct {
 	// same way they self-report metrics. Dark-launch mirror traffic is
 	// excluded, matching the in-process Sim.
 	Traces *tracing.LiveCollector
+	// Faults, when set, is consulted on every backend invocation: the
+	// same scheduled chaos the in-process Sim injects, applied to real
+	// HTTP backends (latency added to the slept service time, forced
+	// 500s, 503 blackouts).
+	Faults *Injector
 }
 
 // StartHTTP boots the application. The caller owns table and store and
@@ -75,6 +81,7 @@ func StartHTTP(app *Application, table *router.Table, store *metrics.Store, cfg 
 		table:        table,
 		store:        store,
 		traces:       cfg.Traces,
+		faults:       cfg.Faults,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		proxies:      make(map[string]*router.Proxy),
 		frontURL:     make(map[string]string),
@@ -167,11 +174,12 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 	type route struct {
 		ep     *Endpoint
 		method string
+		name   string
 	}
 	routes := make(map[string]route, len(sv.Endpoints)) // path -> route
 	for name, ep := range sv.Endpoints {
 		method, path := splitEndpoint(name)
-		routes[method+" "+path] = route{ep: ep, method: method}
+		routes[method+" "+path] = route{ep: ep, method: method, name: name}
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
 
@@ -213,11 +221,33 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 		}
 		h.mu.Unlock()
 
+		// Injected faults distort this invocation before it sleeps or
+		// fans out; a blackout fails fast and skips downstream calls.
+		perturb := Perturbation{LatencyFactor: 1}
+		if h.faults != nil {
+			perturb = h.faults.Apply(sv.Service, sv.Version, rt.name, time.Now())
+		}
+		if perturb.Unavailable {
+			failed = true
+			ownMs = 0
+		} else {
+			if perturb.LatencyFactor > 0 && perturb.LatencyFactor != 1 {
+				ownMs *= perturb.LatencyFactor
+			}
+			ownMs += float64(perturb.ExtraLatency) / float64(time.Millisecond) * h.latencyScale
+			if perturb.ForceError {
+				failed = true
+			}
+		}
+
 		time.Sleep(time.Duration(ownMs * float64(time.Millisecond)))
 
 		for i, call := range ep.Calls {
 			if !gates[i] {
 				continue
+			}
+			if perturb.Unavailable {
+				break
 			}
 			method, path := splitEndpoint(call.Endpoint)
 			req, err := http.NewRequestWithContext(r.Context(), method, h.frontURL[call.Service]+path, nil)
@@ -283,6 +313,10 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 			})
 		}
 		w.Header().Set("X-Version", sv.Version)
+		if perturb.Unavailable {
+			http.Error(w, "injected blackout", http.StatusServiceUnavailable)
+			return
+		}
 		if failed {
 			http.Error(w, "injected failure", http.StatusInternalServerError)
 			return

@@ -22,7 +22,9 @@ type Sim struct {
 	app    *Application
 	table  *router.Table
 	traces *tracing.Collector
+	live   *tracing.LiveCollector
 	store  *metrics.Store
+	faults *Injector
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -50,6 +52,16 @@ func NewSim(app *Application, table *router.Table, traces *tracing.Collector, st
 	}
 }
 
+// SetFaults installs a fault injector consulted on every invocation
+// (nil disables injection). Install before issuing traffic.
+func (s *Sim) SetFaults(in *Injector) { s.faults = in }
+
+// SetLiveTraces mirrors finished spans into a data-plane LiveCollector
+// in addition to the analysis-time Collector, so virtual-time scenario
+// runs can drive the live topology pipeline (harvest → graphs →
+// health verdicts) without real services.
+func (s *Sim) SetLiveTraces(lc *tracing.LiveCollector) { s.live = lc }
+
 // Result summarizes one simulated end-user request.
 type Result struct {
 	Duration time.Duration
@@ -62,8 +74,11 @@ type Result struct {
 // point at the given instant.
 func (s *Sim) Execute(req *router.Request, at time.Time) (Result, error) {
 	var tid tracing.TraceID
-	if s.traces != nil {
+	switch {
+	case s.traces != nil:
 		tid = s.traces.NextTraceID()
+	case s.live != nil:
+		tid = s.live.NextTraceID()
 	}
 	ex := &execution{sim: s, at: at, traceID: tid}
 	dur, failed, err := ex.call(s.app.EntryService, s.app.EntryEndpoint, req, at, 0, 0)
@@ -78,6 +93,9 @@ func (s *Sim) Execute(req *router.Request, at time.Time) (Result, error) {
 		ex.spans[i].Variant = variant
 		if s.traces != nil {
 			s.traces.Record(ex.spans[i])
+		}
+		if s.live != nil {
+			s.live.Record(ex.spans[i])
 		}
 	}
 	return Result{Duration: dur, Err: failed, Variant: variant, TraceID: tid}, nil
@@ -96,6 +114,10 @@ type execution struct {
 
 // maxCallDepth guards against accidental topology cycles.
 const maxCallDepth = 64
+
+// failFastLatency is the service time of a call rejected by a blackout:
+// the connection is refused almost immediately.
+const failFastLatency = time.Millisecond
 
 func (e *execution) call(service, endpoint string, req *router.Request, at time.Time, parent tracing.SpanID, depth int) (time.Duration, bool, error) {
 	if depth > maxCallDepth {
@@ -146,20 +168,42 @@ func (e *execution) invoke(service, version, endpoint string, req *router.Reques
 	spanID := e.nextSpan
 	e.sim.mu.Unlock()
 
+	// Injected faults distort the sampled behavior before downstream
+	// calls fan out; a blackout fails fast and goes dark downstream.
+	var unavailable bool
+	if e.sim.faults != nil {
+		p := e.sim.faults.Apply(service, version, endpoint, at)
+		if p.Unavailable {
+			unavailable = true
+			failed = true
+			own = failFastLatency
+		} else {
+			if p.LatencyFactor > 0 && p.LatencyFactor != 1 {
+				own = time.Duration(float64(own) * p.LatencyFactor)
+			}
+			own += p.ExtraLatency
+			if p.ForceError {
+				failed = true
+			}
+		}
+	}
+
 	total := own
 	childAt := at.Add(own)
-	for i, c := range ep.Calls {
-		if !gates[i] {
-			continue
-		}
-		cdur, cfailed, err := e.call(c.Service, c.Endpoint, req, childAt, spanID, depth+1)
-		if err != nil {
-			return 0, false, err
-		}
-		total += cdur
-		childAt = childAt.Add(cdur)
-		if cfailed {
-			failed = true
+	if !unavailable {
+		for i, c := range ep.Calls {
+			if !gates[i] {
+				continue
+			}
+			cdur, cfailed, err := e.call(c.Service, c.Endpoint, req, childAt, spanID, depth+1)
+			if err != nil {
+				return 0, false, err
+			}
+			total += cdur
+			childAt = childAt.Add(cdur)
+			if cfailed {
+				failed = true
+			}
 		}
 	}
 

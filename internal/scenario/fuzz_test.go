@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec hammers the scenario config parser. The corpus is
+// seeded with every builtin catalog entry (the configs CI actually
+// runs) plus structurally interesting hand-written specs, so mutation
+// starts from realistic shapes. The invariant under test: Parse either
+// rejects the input or returns a spec that Compiles and survives a
+// marshal→reparse round trip.
+func FuzzParseSpec(f *testing.F) {
+	for _, spec := range Catalog(Target{Service: "api", Candidate: "v2", Dependency: "backend"}) {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","duration":2.5,"arrival":{"process":"steady","rps":0.001}}`))
+	f.Add([]byte(`{"name":"x","duration":"1h","arrival":{"process":"replay","profileCsv":"timestamp,volume\n2017-12-11T00:00:00Z,10\n2017-12-11T01:00:00Z,20\n"}}`))
+	f.Add([]byte(`{"name":"", "duration":"-5s"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		sc, err := spec.Compile()
+		if err != nil {
+			t.Fatalf("parsed spec failed to compile: %v\ninput: %s", err, data)
+		}
+		if sc.Rate == nil || sc.Duration <= 0 {
+			t.Fatalf("compiled scenario incomplete: %+v\ninput: %s", sc, data)
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("round trip no longer parses: %v\nfirst: %s\nsecond: %s", err, data, out)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+// Package scenario composes {arrival process × fault schedule ×
+// duration} into named, runtime-configurable experiment conditions.
+// A Spec is the declarative JSON form (hand-written, generated, or one
+// of the builtin catalog entries); Compile lowers it into the runtime
+// pieces the substrates consume — a loadgen.Rate driving arrivals and a
+// microsim fault schedule driving chaos. The grading suite
+// (scenario/suite) runs every strategy kind against a matrix of these
+// and asserts graded outcomes, which is what turns "as many scenarios
+// as you can imagine" into a regression-tested matrix.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"contexp/internal/loadgen"
+	"contexp/internal/microsim"
+	"contexp/internal/traffic"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("90s", "2m30s"), keeping specs human-writable.
+type Duration time.Duration
+
+// MarshalJSON renders the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a duration string or a number of seconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		dur, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(dur)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(data, &secs); err == nil {
+		*d = Duration(secs * float64(time.Second))
+		return nil
+	}
+	return fmt.Errorf("scenario: duration must be a string like \"90s\" or a number of seconds, got %s", data)
+}
+
+// Std returns the standard-library duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Arrival process names accepted by ArrivalSpec.Process.
+const (
+	ProcessSteady  = "steady"
+	ProcessRamp    = "ramp"
+	ProcessBurst   = "burst"
+	ProcessDiurnal = "diurnal"
+	ProcessReplay  = "replay"
+)
+
+// ArrivalSpec describes the open-loop arrival process of a scenario.
+type ArrivalSpec struct {
+	// Process selects the shape: steady | ramp | burst | diurnal |
+	// replay.
+	Process string `json:"process"`
+	// RPS is the base rate (steady, burst, diurnal) or the starting
+	// rate (ramp).
+	RPS float64 `json:"rps,omitempty"`
+	// ToRPS is the final rate of a ramp.
+	ToRPS float64 `json:"toRps,omitempty"`
+	// RampOver is how long a ramp takes to reach ToRPS (defaults to the
+	// scenario duration).
+	RampOver Duration `json:"rampOver,omitempty"`
+	// Factor multiplies RPS inside a burst window.
+	Factor float64 `json:"factor,omitempty"`
+	// Start/Width place the burst window.
+	Start Duration `json:"start,omitempty"`
+	Width Duration `json:"width,omitempty"`
+	// Amplitude (0..1] and Period/Peak shape the diurnal sinusoid.
+	Amplitude float64  `json:"amplitude,omitempty"`
+	Period    Duration `json:"period,omitempty"`
+	Peak      Duration `json:"peak,omitempty"`
+	// ProfileCSV is an inline recorded traffic profile (the
+	// internal/traffic CSV format) replayed as the arrival process.
+	ProfileCSV string `json:"profileCsv,omitempty"`
+	// Scale multiplies the replayed volumes (default 1 = replay the
+	// recorded per-slot volumes).
+	Scale float64 `json:"scale,omitempty"`
+	// Uniform switches from Poisson sampling to deterministic spacing.
+	Uniform bool `json:"uniform,omitempty"`
+}
+
+// FaultSpec is the declarative form of one microsim.Fault.
+type FaultSpec struct {
+	Kind            string   `json:"kind"`
+	Service         string   `json:"service"`
+	Version         string   `json:"version,omitempty"`
+	Endpoint        string   `json:"endpoint,omitempty"`
+	Start           Duration `json:"start"`
+	Duration        Duration `json:"duration"`
+	Probability     float64  `json:"probability,omitempty"`
+	LatencyFactor   float64  `json:"latencyFactor,omitempty"`
+	ExtraLatency    Duration `json:"extraLatency,omitempty"`
+	ErrorRate       float64  `json:"errorRate,omitempty"`
+	RestartDowntime Duration `json:"restartDowntime,omitempty"`
+}
+
+// Spec is a named scenario in declarative form.
+type Spec struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Duration    Duration    `json:"duration"`
+	Seed        int64       `json:"seed,omitempty"`
+	Arrival     ArrivalSpec `json:"arrival"`
+	Faults      []FaultSpec `json:"faults,omitempty"`
+}
+
+// Parse decodes and validates a JSON spec.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec without compiling it.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("scenario %s: non-positive duration %v", s.Name, s.Duration.Std())
+	}
+	if err := s.Arrival.validate(s.Name); err != nil {
+		return err
+	}
+	for i := range s.Faults {
+		if _, err := s.Faults[i].compile(); err != nil {
+			return fmt.Errorf("scenario %s: fault %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func (a *ArrivalSpec) validate(name string) error {
+	switch a.Process {
+	case ProcessSteady:
+		if a.RPS <= 0 {
+			return fmt.Errorf("scenario %s: steady arrival needs rps > 0", name)
+		}
+	case ProcessRamp:
+		if a.RPS < 0 || a.ToRPS <= 0 {
+			return fmt.Errorf("scenario %s: ramp needs rps >= 0 and toRps > 0", name)
+		}
+		if a.RampOver < 0 {
+			return fmt.Errorf("scenario %s: negative rampOver", name)
+		}
+	case ProcessBurst:
+		if a.RPS <= 0 || a.Factor <= 0 {
+			return fmt.Errorf("scenario %s: burst needs rps > 0 and factor > 0", name)
+		}
+		if a.Width <= 0 || a.Start < 0 {
+			return fmt.Errorf("scenario %s: burst needs a window (start >= 0, width > 0)", name)
+		}
+	case ProcessDiurnal:
+		if a.RPS <= 0 {
+			return fmt.Errorf("scenario %s: diurnal arrival needs rps > 0", name)
+		}
+		if a.Amplitude < 0 || a.Amplitude > 1 {
+			return fmt.Errorf("scenario %s: diurnal amplitude %v outside [0,1]", name, a.Amplitude)
+		}
+		if a.Period <= 0 {
+			return fmt.Errorf("scenario %s: diurnal arrival needs period > 0", name)
+		}
+	case ProcessReplay:
+		if a.ProfileCSV == "" {
+			return fmt.Errorf("scenario %s: replay needs an inline profileCsv", name)
+		}
+		if a.Scale < 0 {
+			return fmt.Errorf("scenario %s: negative replay scale", name)
+		}
+		if _, err := traffic.ReadCSV(strings.NewReader(a.ProfileCSV)); err != nil {
+			return fmt.Errorf("scenario %s: replay profile: %w", name, err)
+		}
+	case "":
+		return fmt.Errorf("scenario %s: arrival process missing (want steady, ramp, burst, diurnal, or replay)", name)
+	default:
+		return fmt.Errorf("scenario %s: unknown arrival process %q", name, a.Process)
+	}
+	return nil
+}
+
+// rate lowers the arrival spec into a loadgen.Rate.
+func (a *ArrivalSpec) rate(total time.Duration) (loadgen.Rate, error) {
+	switch a.Process {
+	case ProcessSteady:
+		return loadgen.ConstantRate(a.RPS), nil
+	case ProcessRamp:
+		over := a.RampOver.Std()
+		if over == 0 {
+			over = total
+		}
+		return loadgen.RampRate(a.RPS, a.ToRPS, over), nil
+	case ProcessBurst:
+		return loadgen.Spike(loadgen.ConstantRate(a.RPS), a.Factor, a.Start.Std(), a.Width.Std()), nil
+	case ProcessDiurnal:
+		return loadgen.DiurnalRate(a.RPS, a.Amplitude, a.Period.Std(), a.Peak.Std()), nil
+	case ProcessReplay:
+		p, err := traffic.ReadCSV(strings.NewReader(a.ProfileCSV))
+		if err != nil {
+			return nil, err
+		}
+		scale := a.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		return loadgen.ProfileRate(p, scale), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown arrival process %q", a.Process)
+	}
+}
+
+func (f *FaultSpec) compile() (microsim.Fault, error) {
+	kind, err := microsim.ParseFaultKind(f.Kind)
+	if err != nil {
+		return microsim.Fault{}, err
+	}
+	out := microsim.Fault{
+		Kind:            kind,
+		Service:         f.Service,
+		Version:         f.Version,
+		Endpoint:        f.Endpoint,
+		Start:           f.Start.Std(),
+		Duration:        f.Duration.Std(),
+		Probability:     f.Probability,
+		LatencyFactor:   f.LatencyFactor,
+		ExtraLatency:    f.ExtraLatency.Std(),
+		ErrorRate:       f.ErrorRate,
+		RestartDowntime: f.RestartDowntime.Std(),
+	}
+	if err := out.Validate(); err != nil {
+		return microsim.Fault{}, err
+	}
+	return out, nil
+}
+
+// Scenario is the compiled, runnable form of a Spec.
+type Scenario struct {
+	Name        string
+	Description string
+	Duration    time.Duration
+	Seed        int64
+	// Rate drives the arrival process (elapsed time relative to the run
+	// start).
+	Rate loadgen.Rate
+	// Uniform selects deterministic spacing over Poisson sampling.
+	Uniform bool
+	// Faults is the chaos schedule, windows relative to the run start.
+	Faults []microsim.Fault
+}
+
+// Compile validates and lowers the spec.
+func (s *Spec) Compile() (*Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rate, err := s.Arrival.rate(s.Duration.Std())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	out := &Scenario{
+		Name:        s.Name,
+		Description: s.Description,
+		Duration:    s.Duration.Std(),
+		Seed:        s.Seed,
+		Rate:        rate,
+		Uniform:     s.Arrival.Uniform,
+	}
+	for i := range s.Faults {
+		f, err := s.Faults[i].compile()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: fault %d: %w", s.Name, i, err)
+		}
+		out.Faults = append(out.Faults, f)
+	}
+	return out, nil
+}
+
+// Injector builds the scenario's fault injector anchored at epoch. A
+// scenario without faults yields a nil injector, which every consumer
+// treats as "no chaos".
+func (sc *Scenario) Injector(epoch time.Time) (*microsim.Injector, error) {
+	if len(sc.Faults) == 0 {
+		return nil, nil
+	}
+	return microsim.NewInjector(epoch, sc.Faults, sc.Seed)
+}

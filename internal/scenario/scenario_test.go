@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"contexp/internal/microsim"
+	"contexp/internal/traffic"
+)
+
+var testTarget = Target{Service: "api", Candidate: "v2", Dependency: "backend"}
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"90s"`), &d); err != nil || d.Std() != 90*time.Second {
+		t.Errorf("string form: %v %v", d.Std(), err)
+	}
+	if err := json.Unmarshal([]byte(`2.5`), &d); err != nil || d.Std() != 2500*time.Millisecond {
+		t.Errorf("numeric form: %v %v", d.Std(), err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &d); err == nil {
+		t.Error("bad duration string should fail")
+	}
+	out, err := json.Marshal(Duration(time.Minute))
+	if err != nil || string(out) != `"1m0s"` {
+		t.Errorf("marshal: %s %v", out, err)
+	}
+}
+
+func TestCatalogCompiles(t *testing.T) {
+	specs := Catalog(testTarget)
+	if len(specs) < 6 {
+		t.Fatalf("catalog has %d scenarios, the grading matrix needs at least 6", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		if seen[spec.Name] {
+			t.Errorf("duplicate scenario name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		sc, err := spec.Compile()
+		if err != nil {
+			t.Errorf("%s: compile: %v", spec.Name, err)
+			continue
+		}
+		if sc.Duration <= 0 || sc.Rate == nil {
+			t.Errorf("%s: compiled scenario incomplete: %+v", spec.Name, sc)
+		}
+		// Rates must be non-negative over the whole run.
+		for el := time.Duration(0); el <= sc.Duration; el += sc.Duration / 64 {
+			if r := sc.Rate(el); r < 0 || math.IsNaN(r) {
+				t.Errorf("%s: rate(%s) = %v", spec.Name, el, r)
+			}
+		}
+	}
+	for _, required := range []string{
+		ScenarioSteady, ScenarioRamp, ScenarioFlashCrowd, ScenarioDiurnal,
+		ScenarioErrorStorm, ScenarioBlackout,
+	} {
+		if !seen[required] {
+			t.Errorf("catalog is missing required scenario %q", required)
+		}
+	}
+}
+
+func TestCatalogJSONRoundTrip(t *testing.T) {
+	for _, spec := range Catalog(testTarget) {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", spec.Name, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", spec.Name, err, data)
+		}
+		if back.Name != spec.Name || back.Duration != spec.Duration || len(back.Faults) != len(spec.Faults) {
+			t.Errorf("%s: round trip drifted: %+v vs %+v", spec.Name, back, spec)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	spec, err := ByName(testTarget, ScenarioErrorStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Faults) != 1 || spec.Faults[0].Service != "api" || spec.Faults[0].Version != "v2" {
+		t.Errorf("error storm should target the candidate, got %+v", spec.Faults)
+	}
+	if _, err := ByName(testTarget, "nonexistent"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"empty object", `{}`},
+		{"no duration", `{"name":"x","arrival":{"process":"steady","rps":10}}`},
+		{"no process", `{"name":"x","duration":"10s","arrival":{}}`},
+		{"unknown process", `{"name":"x","duration":"10s","arrival":{"process":"warp"}}`},
+		{"steady without rps", `{"name":"x","duration":"10s","arrival":{"process":"steady"}}`},
+		{"burst without window", `{"name":"x","duration":"10s","arrival":{"process":"burst","rps":10,"factor":2}}`},
+		{"unknown field", `{"name":"x","duration":"10s","arrival":{"process":"steady","rps":10},"surprise":1}`},
+		{"bad fault kind", `{"name":"x","duration":"10s","arrival":{"process":"steady","rps":10},"faults":[{"kind":"meteor","service":"s","start":"0s","duration":"5s"}]}`},
+		{"fault without service", `{"name":"x","duration":"10s","arrival":{"process":"steady","rps":10},"faults":[{"kind":"blackout","start":"0s","duration":"5s"}]}`},
+		{"replay without profile", `{"name":"x","duration":"10s","arrival":{"process":"replay"}}`},
+		{"not json", `steady 80rps please`},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.json)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestReplayScenario(t *testing.T) {
+	p := &traffic.Profile{
+		Start:      time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC),
+		SlotLength: 30 * time.Second,
+		Slots:      []float64{600, 1800, 900},
+	}
+	var csv strings.Builder
+	if err := p.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{
+		Name:     "replayed",
+		Duration: Duration(90 * time.Second),
+		Arrival:  ArrivalSpec{Process: ProcessReplay, ProfileCSV: csv.String()},
+	}
+	sc, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot volumes over 30s slots: 20, 60, 30 rps.
+	for _, c := range []struct {
+		at   time.Duration
+		want float64
+	}{{0, 20}, {45 * time.Second, 60}, {80 * time.Second, 30}, {2 * time.Minute, 0}} {
+		if got := sc.Rate(c.at); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("rate(%s) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestInjectorFromScenario(t *testing.T) {
+	spec, err := ByName(testTarget, ScenarioBlackout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+	in, err := sc.Injector(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil {
+		t.Fatal("blackout scenario should yield an injector")
+	}
+	if got := in.ActiveFaults(epoch.Add(50 * time.Second)); got != 1 {
+		t.Errorf("ActiveFaults inside window = %d", got)
+	}
+	if got := in.ActiveFaults(epoch); got != 0 {
+		t.Errorf("ActiveFaults before window = %d", got)
+	}
+
+	// A fault-free scenario yields no injector.
+	steady, err := ByName(testTarget, ScenarioSteady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := steady.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := sc2.Injector(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2 != nil {
+		t.Error("steady scenario should have no injector")
+	}
+	var _ *microsim.Injector = in2
+}

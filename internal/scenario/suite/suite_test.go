@@ -1,0 +1,126 @@
+package suite
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"contexp/internal/bifrost"
+	"contexp/internal/scenario"
+)
+
+// TestGradingMatrix is the headline acceptance suite: every builtin
+// scenario runs against every strategy kind, and the run must reach the
+// graded outcome — rollback when the candidate release is really bad,
+// promotion when the trouble is ambient or there is no trouble at all.
+func TestGradingMatrix(t *testing.T) {
+	for _, exp := range Matrix() {
+		exp := exp
+		if exp.Want == nil {
+			t.Errorf("catalog scenario %q has no grade in the matrix", exp.Spec.Name)
+			continue
+		}
+		for _, kind := range Kinds() {
+			kind := kind
+			t.Run(exp.Spec.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				res, err := RunScenario(exp.Spec, kind, Options{Logf: t.Logf})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Status != exp.Want[kind] {
+					t.Fatalf("status = %v, want %v (requests=%d failures=%d events=%d)",
+						res.Status, exp.Want[kind], res.Requests, res.Failures, len(res.Events))
+				}
+				if res.Requests == 0 {
+					t.Fatal("scenario generated no traffic")
+				}
+
+				switch exp.Spec.Name {
+				case scenario.ScenarioErrorStorm, scenario.ScenarioLatencySpike:
+					// A real regression must be caught by the in-phase
+					// checks, before the phase would have ended anyway.
+					phaseEnd := Epoch.Add(90 * time.Second)
+					if res.FinishedAt.IsZero() || res.FinishedAt.After(phaseEnd) {
+						t.Errorf("rollback landed at %v, want during the canary phase (before %v)",
+							res.FinishedAt, phaseEnd)
+					}
+					if res.Failures == 0 {
+						t.Error("regression scenario produced no failed requests")
+					}
+				case scenario.ScenarioBlackout:
+					// The outage must be user-visible — otherwise the
+					// scenario is not exercising anything.
+					if res.Failures == 0 {
+						t.Error("blackout produced no failed requests")
+					}
+				}
+
+				if kind == KindTopology {
+					// Structural checks must keep producing verdicts and
+					// must never fail: the candidate is topologically
+					// identical to the baseline in every scenario,
+					// including the partial dependency outage.
+					if res.TopologyFail > 0 {
+						t.Errorf("topology check failed %d times on a structurally clean candidate",
+							res.TopologyFail)
+					}
+					if res.Status == bifrost.StatusSucceeded && res.TopologyPass == 0 {
+						t.Error("promoted run never got a passing topology verdict")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSuiteDeterministic asserts a scenario run is bit-for-bit
+// reproducible: same spec, same kind, same seed → identical event
+// trails, identical traffic tallies.
+func TestSuiteDeterministic(t *testing.T) {
+	spec, err := scenario.ByName(SuiteTarget, scenario.ScenarioErrorStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunScenario(spec, KindTopology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(spec, KindTopology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != b.Status || a.Requests != b.Requests || a.Failures != b.Failures {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		max := len(a.Events)
+		if len(b.Events) < max {
+			max = len(b.Events)
+		}
+		for i := 0; i < max; i++ {
+			if !reflect.DeepEqual(a.Events[i], b.Events[i]) {
+				t.Fatalf("event %d diverged:\n  a: %+v\n  b: %+v", i, a.Events[i], b.Events[i])
+			}
+		}
+		t.Fatalf("event counts diverged: %d vs %d", len(a.Events), len(b.Events))
+	}
+}
+
+// TestStrategyValidates makes sure both graded strategies pass the
+// engine's own validation — the suite must not drift from the real
+// strategy surface.
+func TestStrategyValidates(t *testing.T) {
+	for _, kind := range Kinds() {
+		s, err := Strategy(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s strategy invalid: %v", kind, err)
+		}
+	}
+	if _, err := Strategy(Kind("bogus")); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}

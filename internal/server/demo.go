@@ -88,6 +88,14 @@ type DemoConfig struct {
 	// the load driver mints per user request), feeding `kind = topology`
 	// checks and GET /v1/runs/{name}/health.
 	Traces *tracing.LiveCollector
+	// Faults, when set, injects the schedule into the shop's backends
+	// (latency spikes, error storms, blackouts, slow restarts); /healthz
+	// reports the live fault state. Typically built from a builtin
+	// chaos scenario via --demo-faults.
+	Faults *microsim.Injector
+	// Logf receives demo progress lines (the load generator's seed line
+	// among them); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Demo is a running demo environment: the simulated shop deployed as
@@ -97,6 +105,7 @@ type Demo struct {
 	app      *microsim.HTTPApplication
 	topology *microsim.Application
 	entryURL string
+	faults   *microsim.Injector
 
 	requests        atomic.Int64
 	transportErrors atomic.Int64
@@ -134,6 +143,7 @@ func StartDemo(engine *bifrost.Engine, table *router.Table, store *metrics.Store
 		LatencyScale: cfg.LatencyScale,
 		Seed:         cfg.Seed,
 		Traces:       cfg.Traces,
+		Faults:       cfg.Faults,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: starting shop servers: %w", err)
@@ -157,6 +167,7 @@ func StartDemo(engine *bifrost.Engine, table *router.Table, store *metrics.Store
 		app:      httpApp,
 		topology: app,
 		entryURL: httpApp.EntryURL(),
+		faults:   cfg.Faults,
 		cancel:   cancel,
 		done:     make(chan struct{}),
 	}
@@ -247,11 +258,18 @@ func (d *Demo) drive(ctx context.Context, pop *loadgen.Population, cfg DemoConfi
 	// does not accumulate lag).
 	seed := cfg.Seed
 	for ctx.Err() == nil {
+		// Log only the first chunk's seed line: later chunks derive their
+		// seeds from it, so one line is enough to reproduce the stream.
+		logf := cfg.Logf
+		if seed != cfg.Seed {
+			logf = nil
+		}
 		_, _ = loadgen.Run(loadgen.Config{
 			RPS:      cfg.RPS,
 			Duration: 2 * time.Second,
 			Start:    time.Now(),
 			Seed:     seed,
+			Logf:     logf,
 		}, pop, target)
 		seed++
 	}
@@ -278,6 +296,10 @@ type DemoHealth struct {
 	// discarded on full queues: lost candidate coverage that would
 	// otherwise be invisible.
 	MirrorDrops uint64 `json:"mirrorDrops"`
+	// Faults is the live chaos state when a fault schedule is injected:
+	// every configured fault with its window, whether it is active right
+	// now, and how many calls it has perturbed so far.
+	Faults []microsim.FaultStatus `json:"faults,omitempty"`
 }
 
 // Health reports the demo's state.
@@ -288,5 +310,6 @@ func (d *Demo) Health() *DemoHealth {
 		RequestsServed:  d.requests.Load(),
 		TransportErrors: d.transportErrors.Load(),
 		MirrorDrops:     d.app.MirrorDrops(),
+		Faults:          d.faults.Snapshot(time.Now()),
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"contexp/internal/bifrost"
 	"contexp/internal/metrics"
+	"contexp/internal/microsim"
 	"contexp/internal/router"
 )
 
@@ -231,4 +233,93 @@ func TestDemoSkipsEnactWhenRunAlreadyLive(t *testing.T) {
 	demo.Stop()
 	live.Abort()
 	<-live.Done()
+}
+
+// TestDemoFaultSurface verifies injected chaos is both effective (an
+// error storm on the recommender really fails user requests) and
+// observable: /healthz's demo section reports each configured fault
+// with its window, live-vs-pending state, and how many calls it has
+// perturbed.
+func TestDemoFaultSurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real HTTP servers")
+	}
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	engine, err := bifrost.NewEngine(bifrost.Config{Table: table, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injector, err := microsim.NewInjector(time.Now(), []microsim.Fault{
+		{
+			Kind: microsim.FaultErrorStorm, Service: "recommendation",
+			Start: 0, Duration: time.Hour, ErrorRate: 1,
+		},
+		{
+			Kind: microsim.FaultBlackout, Service: "catalog",
+			Start: 2 * time.Hour, Duration: time.Hour,
+		},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logLines []string
+	demo, err := StartDemo(engine, table, store, DemoConfig{
+		RPS:            60,
+		LatencyScale:   0.02,
+		PopulationSize: 50,
+		Seed:           3,
+		Faults:         injector,
+		Logf:           func(format string, args ...any) { logLines = append(logLines, fmt.Sprintf(format, args...)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer demo.Stop()
+
+	deadline := time.Now().Add(15 * time.Second)
+	var h *DemoHealth
+	for {
+		h = demo.Health()
+		if len(h.Faults) == 2 && h.Faults[0].Applied > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fault never surfaced in health: %+v", h.Faults)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Snapshot orders active faults first: the storm is live, the
+	// blackout is hours away.
+	if h.Faults[0].Kind != "error-storm" || !h.Faults[0].Active {
+		t.Errorf("first fault should be the active storm: %+v", h.Faults[0])
+	}
+	if h.Faults[1].Kind != "blackout" || h.Faults[1].Active {
+		t.Errorf("second fault should be the pending blackout: %+v", h.Faults[1])
+	}
+	if h.Faults[0].Target != "recommendation" {
+		t.Errorf("storm target = %q", h.Faults[0].Target)
+	}
+
+	// The forced failures are user-visible: the entry endpoint depends on
+	// the recommender, so requests 500.
+	resp, err := http.Get(demo.EntryURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 500 {
+		t.Errorf("entry request during a total recommender error storm returned %d", resp.StatusCode)
+	}
+
+	// The load generator announced its seed (satellite visibility).
+	found := false
+	for _, line := range logLines {
+		if strings.Contains(line, "seed=3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no seed line in demo logs: %q", logLines)
+	}
 }

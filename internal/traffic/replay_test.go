@@ -1,0 +1,111 @@
+// Replay integration: a recorded traffic profile, round-tripped through
+// its CSV form, drives the load generator as an open-loop arrival
+// process. This is an external-package test (traffic_test) because it
+// pulls in loadgen, which itself imports traffic.
+package traffic_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"contexp/internal/loadgen"
+	"contexp/internal/router"
+	"contexp/internal/traffic"
+)
+
+// replayProfile is the recorded shape under test; volumes per 30s slot
+// work out to 15, 45, 90, and 30 requests/second.
+func replayProfile() *traffic.Profile {
+	return &traffic.Profile{
+		Start:      time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC),
+		SlotLength: 30 * time.Second,
+		Slots:      []float64{450, 1350, 2700, 900},
+	}
+}
+
+// roundTrip writes the profile as CSV and reads it back, failing the
+// test on any drift.
+func roundTrip(t *testing.T, orig *traffic.Profile) *traffic.Profile {
+	t.Helper()
+	var buf strings.Builder
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := traffic.ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Start.Equal(orig.Start) || replayed.SlotLength != orig.SlotLength {
+		t.Fatalf("round trip changed the frame: %+v", replayed)
+	}
+	if len(replayed.Slots) != len(orig.Slots) {
+		t.Fatalf("round trip changed slot count: %d", len(replayed.Slots))
+	}
+	for i := range orig.Slots {
+		if math.Abs(replayed.Slots[i]-orig.Slots[i]) > 1e-9 {
+			t.Fatalf("slot %d drifted: %v vs %v", i, replayed.Slots[i], orig.Slots[i])
+		}
+	}
+	return replayed
+}
+
+// replayCounts runs the replayed profile through loadgen and tallies
+// arrivals per recorded slot.
+func replayCounts(t *testing.T, p *traffic.Profile, uniform bool) []int {
+	t.Helper()
+	pop, err := loadgen.NewPopulation(loadgen.PopulationConfig{Size: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(p.Slots))
+	target := loadgen.TargetFunc(func(_ *router.Request, at time.Time) (time.Duration, bool, error) {
+		slot := int(at.Sub(p.Start) / p.SlotLength)
+		if slot < 0 || slot >= len(counts) {
+			t.Errorf("arrival at %v falls outside the recorded timeline", at)
+			return 0, false, nil
+		}
+		counts[slot]++
+		return 0, false, nil
+	})
+	_, err = loadgen.Run(loadgen.Config{
+		Rate:     loadgen.ProfileRate(p, 1),
+		Uniform:  uniform,
+		Duration: p.SlotLength * time.Duration(len(p.Slots)),
+		Start:    p.Start,
+		Seed:     11,
+	}, pop, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return counts
+}
+
+// TestReplayDrivesLoadgen is the CSV-replay arrival-process test:
+// record → CSV → read → replay through loadgen, asserting the generated
+// timeline reproduces the recorded per-slot volumes. The uniform
+// variant must land within a request or two of the recorded volume; the
+// Poisson variant within sampling tolerance (4σ).
+func TestReplayDrivesLoadgen(t *testing.T) {
+	orig := replayProfile()
+	replayed := roundTrip(t, orig)
+
+	t.Run("uniform", func(t *testing.T) {
+		counts := replayCounts(t, replayed, true)
+		for i, want := range orig.Slots {
+			if diff := math.Abs(float64(counts[i]) - want); diff > 2 {
+				t.Errorf("slot %d: %d arrivals, recorded volume %v", i, counts[i], want)
+			}
+		}
+	})
+	t.Run("poisson", func(t *testing.T) {
+		counts := replayCounts(t, replayed, false)
+		for i, want := range orig.Slots {
+			tol := math.Max(5, 4*math.Sqrt(want))
+			if diff := math.Abs(float64(counts[i]) - want); diff > tol {
+				t.Errorf("slot %d: %d arrivals, recorded volume %v (tolerance %v)", i, counts[i], want, tol)
+			}
+		}
+	})
+}
