@@ -11,6 +11,10 @@
 //	# gate a PR: >20% p50 regression on any benchmark fails
 //	benchgate -current bench.txt -baseline BENCH_baseline.json -out bench.json
 //
+//	# additionally gate allocations: any allocs/op increase over the
+//	# baseline fails (run the benches with -benchmem)
+//	benchgate -current bench.txt -baseline BENCH_baseline.json -gate-allocs
+//
 // benchstat remains the human-readable comparison; benchgate is the
 // machine check (benchstat does not exit non-zero on thresholds).
 // Medians, not means, so one noisy repetition cannot mask or fake a
@@ -18,6 +22,16 @@
 // and the gate fires on p50 > p75 × (1 + threshold), so a benchmark's
 // own measured run-to-run spread (seed the baseline from several
 // pooled runs) widens its envelope instead of tripping the gate.
+//
+// Allocation counts, unlike timings, are deterministic for the paths
+// that matter: the baseline records the worst allocs/op seen across
+// repetitions, and -gate-allocs fails on ANY increase for benchmarks
+// whose baseline is zero — the zero-alloc tag. That is what keeps the
+// zero-alloc hot paths (wire decoding, batch recording, harvest) at
+// exactly zero: one new allocation fails CI. Benchmarks with nonzero
+// baselines (e.g. whole-HTTP-stack benches, where transport internals
+// add run-to-run jitter) have their counts recorded for visibility but
+// are gated on timing only.
 package main
 
 import (
@@ -47,6 +61,11 @@ type Benchmark struct {
 	P50NsPerOp float64 `json:"p50NsPerOp"`
 	P75NsPerOp float64 `json:"p75NsPerOp,omitempty"`
 	Samples    int     `json:"samples"`
+	// AllocsPerOp is the worst allocs/op observed across repetitions,
+	// present only when the bench ran with -benchmem. A pointer so a
+	// recorded zero (the zero-alloc benches) survives the JSON
+	// round-trip distinguishably from "not measured".
+	AllocsPerOp *int64 `json:"allocsPerOp,omitempty"`
 }
 
 // bound is the value regressions are measured against: the baseline's
@@ -60,15 +79,18 @@ func (b Benchmark) bound() float64 {
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
-//	BenchmarkResolveParallel-8   	12345678	        95.20 ns/op	       0 B/op
+//	BenchmarkResolveParallel-8   	12345678	        95.20 ns/op	       0 B/op	       2 allocs/op
 //
 // The -8 GOMAXPROCS suffix is stripped so baselines compare across
-// machine shapes (the timing still differs, the name must not).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+// machine shapes (the timing still differs, the name must not). The
+// -benchmem columns are optional.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op(?:\s+[0-9.]+ B/op\s+(\d+) allocs/op)?`)
 
-// parseBench reduces bench output to per-benchmark p50 ns/op.
+// parseBench reduces bench output to per-benchmark p50 ns/op plus, for
+// runs with -benchmem, the worst allocs/op across repetitions.
 func parseBench(r io.Reader) (map[string]Benchmark, error) {
 	samples := make(map[string][]float64)
+	allocs := make(map[string]int64)
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for scanner.Scan() {
@@ -81,6 +103,13 @@ func parseBench(r io.Reader) (map[string]Benchmark, error) {
 			continue
 		}
 		samples[m[1]] = append(samples[m[1]], ns)
+		if m[3] != "" {
+			if a, err := strconv.ParseInt(m[3], 10, 64); err == nil {
+				if have, ok := allocs[m[1]]; !ok || a > have {
+					allocs[m[1]] = a
+				}
+			}
+		}
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, err
@@ -88,11 +117,15 @@ func parseBench(r io.Reader) (map[string]Benchmark, error) {
 	out := make(map[string]Benchmark, len(samples))
 	for name, vals := range samples {
 		sort.Float64s(vals)
-		out[name] = Benchmark{
+		b := Benchmark{
 			P50NsPerOp: quantile(vals, 0.50),
 			P75NsPerOp: quantile(vals, 0.75),
 			Samples:    len(vals),
 		}
+		if a, ok := allocs[name]; ok {
+			b.AllocsPerOp = &a
+		}
+		out[name] = b
 	}
 	return out, nil
 }
@@ -120,6 +153,8 @@ func run(args []string, out, errw io.Writer) int {
 	outPath := fs.String("out", "", "write the parsed current results as baseline JSON")
 	threshold := fs.Float64("threshold", 0.20, "relative p50 regression that fails the gate")
 	minSamples := fs.Int("min-samples", 3, "fewest repetitions per benchmark for a meaningful median")
+	gateAllocs := fs.Bool("gate-allocs", false,
+		"fail on ANY allocs/op on benches whose baseline recorded 0 allocs/op (requires -benchmem output)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -151,7 +186,7 @@ func run(args []string, out, errw io.Writer) int {
 	}
 
 	if *outPath != "" {
-		blob, err := json.MarshalIndent(Baseline{Schema: 1, Benchmarks: parsed}, "", "  ")
+		blob, err := json.MarshalIndent(Baseline{Schema: 2, Benchmarks: parsed}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(errw, "benchgate:", err)
 			return 2
@@ -199,8 +234,26 @@ func run(args []string, out, errw io.Writer) int {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Fprintf(out, "benchgate: %-4s %-40s p50 %10.1f -> %10.1f ns/op (%+.1f%%)\n",
-			status, name, want.P50NsPerOp, got.P50NsPerOp, delta*100)
+		allocNote := ""
+		if *gateAllocs && want.AllocsPerOp != nil && *want.AllocsPerOp == 0 {
+			// The zero-alloc tag: a baseline of 0 allocs/op is a claim
+			// the path makes no allocations at steady state, enforced
+			// exactly — no threshold, no envelope.
+			switch {
+			case got.AllocsPerOp == nil:
+				status = "FAIL"
+				failed = true
+				allocNote = "  allocs 0 -> ??? (rerun with -benchmem)"
+			case *got.AllocsPerOp > 0:
+				status = "FAIL"
+				failed = true
+				allocNote = fmt.Sprintf("  allocs 0 -> %d", *got.AllocsPerOp)
+			default:
+				allocNote = "  allocs 0 -> 0"
+			}
+		}
+		fmt.Fprintf(out, "benchgate: %-4s %-40s p50 %10.1f -> %10.1f ns/op (%+.1f%%)%s\n",
+			status, name, want.P50NsPerOp, got.P50NsPerOp, delta*100, allocNote)
 	}
 	for name := range parsed {
 		if _, ok := base.Benchmarks[name]; !ok {
@@ -208,7 +261,7 @@ func run(args []string, out, errw io.Writer) int {
 		}
 	}
 	if failed {
-		fmt.Fprintf(errw, "benchgate: p50 regression beyond %.0f%% — if intentional, refresh the baseline in the same PR\n",
+		fmt.Fprintf(errw, "benchgate: p50 regression beyond %.0f%% (or an allocs/op increase) — if intentional, refresh the baseline in the same PR\n",
 			*threshold*100)
 		return 1
 	}

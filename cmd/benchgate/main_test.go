@@ -143,3 +143,65 @@ func TestSeedBaseline(t *testing.T) {
 		t.Fatalf("self-comparison failed: exit %d\n%s%s", code, o2.String(), e2.String())
 	}
 }
+
+func TestParseBenchAllocs(t *testing.T) {
+	parsed, err := parseBench(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lines with -benchmem columns record the worst allocs/op; lines
+	// without leave the benchmark timing-only.
+	rw := parsed["BenchmarkResolveWeighted"]
+	if rw.AllocsPerOp == nil || *rw.AllocsPerOp != 0 {
+		t.Errorf("ResolveWeighted.AllocsPerOp = %v, want 0", rw.AllocsPerOp)
+	}
+	q := parsed["BenchmarkQueryP95/cold"]
+	if q.AllocsPerOp != nil {
+		t.Errorf("QueryP95/cold.AllocsPerOp = %d, want absent (no -benchmem columns)", *q.AllocsPerOp)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	zeroBase := `{"schema":2,"benchmarks":{"BenchmarkResolveWeighted":{"p50NsPerOp":30.0,"samples":5,"allocsPerOp":0}}}`
+
+	// Current run holds at 0 allocs/op: passes.
+	if code, out, errw := gate(t, benchOut, zeroBase, "-gate-allocs"); code != 0 {
+		t.Fatalf("zero-alloc bench holding at zero should pass, exit %d\n%s%s", code, out, errw)
+	}
+
+	// One new allocation on a zero-alloc-tagged bench: fails with no
+	// threshold, even though the timing is fine.
+	leaky := strings.ReplaceAll(benchOut, "0 B/op", "48 B/op")
+	leaky = strings.ReplaceAll(leaky, "0 allocs/op", "1 allocs/op")
+	code, out, _ := gate(t, leaky, zeroBase, "-gate-allocs")
+	if code != 1 {
+		t.Fatalf("allocs 0 -> 1 must fail the gate, exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs 0 -> 1") {
+		t.Errorf("missing allocs delta in output:\n%s", out)
+	}
+
+	// Without -gate-allocs the same run passes: timing-only gating.
+	if code, _, _ := gate(t, leaky, zeroBase); code != 0 {
+		t.Errorf("allocs increase without -gate-allocs should pass, exit %d", code)
+	}
+
+	// A gated bench missing -benchmem data in the current run fails
+	// loudly rather than silently skipping the check.
+	noMem := strings.NewReplacer(
+		"0 B/op", "", "48 B/op", "", "0 allocs/op", "", "1 allocs/op", "").Replace(benchOut)
+	if code, out, _ := gate(t, noMem, zeroBase, "-gate-allocs"); code != 1 || !strings.Contains(out, "-benchmem") {
+		t.Errorf("missing benchmem data should fail the allocs gate, exit %d\n%s", code, out)
+	}
+}
+
+func TestGateAllocsSkipsNonzeroBaselines(t *testing.T) {
+	// A nonzero baseline (e.g. an HTTP-stack bench) records allocs for
+	// visibility but gates on timing only: jitter in transport
+	// internals must not flake CI.
+	base := `{"schema":2,"benchmarks":{"BenchmarkResolveWeighted":{"p50NsPerOp":30.0,"samples":5,"allocsPerOp":3}}}`
+	grown := strings.ReplaceAll(benchOut, "0 allocs/op", "5 allocs/op")
+	if code, out, errw := gate(t, grown, base, "-gate-allocs"); code != 0 {
+		t.Errorf("allocs 3 -> 5 on a nonzero baseline should pass, exit %d\n%s%s", code, out, errw)
+	}
+}

@@ -25,6 +25,10 @@
 //	                         schedule into the demo shop (error-storm,
 //	                         dependency-blackout, flash-crowd, ...);
 //	                         /healthz reports the live fault state
+//	--demo-wire              ship the demo's telemetry to the daemon's
+//	                         own /v1/metrics and /v1/spans as binary
+//	                         batch frames instead of recording
+//	                         in-process (exercises the wire codec)
 //
 // With --demo the daemon is a self-contained system: the microservice
 // shop runs as real HTTP servers behind per-service routing proxies, a
@@ -94,6 +98,7 @@ type options struct {
 	demoSeed      int64
 	demoEnact     bool
 	demoFaults    string
+	demoWire      bool
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -122,6 +127,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&opt.demoFaults, "demo-faults", "",
 		fmt.Sprintf("with --demo, inject the named chaos scenario's fault schedule (one of %v)",
 			scenario.Names()))
+	fs.BoolVar(&opt.demoWire, "demo-wire", false,
+		"with --demo, post the shop's telemetry to the daemon's own ingestion "+
+			"endpoints as binary batch frames instead of recording in-process")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -142,6 +150,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if opt.demoFaults != "" && !opt.demo {
 		return nil, errors.New("--demo-faults requires --demo")
+	}
+	if opt.demoWire && !opt.demo {
+		return nil, errors.New("--demo-wire requires --demo")
 	}
 	return opt, nil
 }
@@ -282,6 +293,14 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Bind the listener before the demo boots: with --demo-wire the shop
+	// posts its telemetry to the daemon's own ingestion endpoints, so the
+	// address must be live (accepting connections) from the first request.
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+
 	if opt.demo {
 		var faults *microsim.Injector
 		if opt.demoFaults != "" {
@@ -290,7 +309,7 @@ func run(args []string) error {
 				return err
 			}
 		}
-		demo, err := server.StartDemo(engine, table, store, server.DemoConfig{
+		demoCfg := server.DemoConfig{
 			RPS:            opt.demoRPS,
 			LatencyScale:   opt.demoScale,
 			PopulationSize: opt.demoPop,
@@ -301,7 +320,11 @@ func run(args []string) error {
 			Logf: func(format string, args ...any) {
 				fmt.Printf("demo: "+format+"\n", args...)
 			},
-		})
+		}
+		if opt.demoWire {
+			demoCfg.TelemetryURL = selfURL(ln.Addr())
+		}
+		demo, err := server.StartDemo(engine, table, store, demoCfg)
 		if err != nil {
 			return err
 		}
@@ -318,6 +341,10 @@ func run(args []string) error {
 		} else if opt.demoFaults != "" {
 			fmt.Printf("demo: scenario %q has no faults (traffic-shape only)\n", opt.demoFaults)
 		}
+		if opt.demoWire {
+			fmt.Printf("demo: telemetry over the wire: binary batch frames to %s\n",
+				demoCfg.TelemetryURL)
+		}
 	}
 
 	httpSrv := &http.Server{
@@ -333,7 +360,7 @@ func run(args []string) error {
 		fmt.Printf("  curl %s/healthz\n", curlHost(opt.addr))
 		fmt.Printf("  curl %s/v1/runs\n", curlHost(opt.addr))
 		fmt.Printf("  curl %s/v1/schedule\n", curlHost(opt.addr))
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
@@ -355,4 +382,20 @@ func curlHost(addr string) string {
 		return "localhost" + addr
 	}
 	return addr
+}
+
+// selfURL renders the bound listener address as a base URL the demo's
+// wire-telemetry client can post to: an unspecified host (":8080",
+// "[::]:8080") becomes loopback.
+func selfURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	} else if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

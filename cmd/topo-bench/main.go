@@ -6,6 +6,12 @@
 //
 //	topo-bench -artifact all
 //	topo-bench -artifact 5.9 -sizes 500,1000,2000,4000,10000
+//
+// With -incremental it instead measures the live-assessment hot path:
+// full Compare versus the incrementally maintained diff, side by side
+// on the same trace stream folding into the same graphs.
+//
+//	topo-bench -incremental -endpoints 2000 -folds 200
 package main
 
 import (
@@ -13,10 +19,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"contexp/internal/health"
+	"contexp/internal/tracing"
 )
 
 func main() {
@@ -34,8 +43,14 @@ func run(args []string, out io.Writer) error {
 	endpoints := fs.Int("endpoints", 4000, "graph size for Fig 5.10")
 	seed := fs.Int64("seed", 1, "random seed")
 	diff := fs.Bool("diff", false, "also print the topological difference of each scenario")
+	incremental := fs.Bool("incremental", false,
+		"benchmark full Compare vs the incremental diff on a live trace stream (uses -endpoints, -folds, -seed)")
+	folds := fs.Int("folds", 200, "with -incremental, how many traces to fold into the candidate graph")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *incremental {
+		return runIncremental(out, *endpoints, *folds, *seed)
 	}
 	want := func(id string) bool { return *artifact == "all" || *artifact == id }
 
@@ -80,6 +95,72 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, fig.Render())
+	}
+	return nil
+}
+
+// runIncremental folds a stream of fresh traces into the candidate
+// graph of a generated pair and measures, after every fold, how long
+// re-deriving the full diff takes via (a) the reference Compare walk
+// and (b) the incrementally maintained diff. Both see the identical
+// graph state, and their outputs are cross-checked every fold.
+func runIncremental(out io.Writer, endpoints, folds int, seed int64) error {
+	if folds <= 0 {
+		return fmt.Errorf("-folds must be positive")
+	}
+	base, exp, err := health.GenerateGraphPair(health.GraphGenConfig{
+		Endpoints: endpoints, ChangeFraction: 0.1, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	inc := health.NewIncrementalDiff(base, exp)
+	root := tracing.NodeKey{Service: "frontend", Version: "v1", Endpoint: "GET /"}
+
+	fullNs := make([]float64, 0, folds)
+	incNs := make([]float64, 0, folds)
+	for i := 0; i < folds; i++ {
+		id := tracing.TraceID(1_000_000 + i)
+		child := tracing.NodeKey{
+			Service: "svc-live", Version: "v2",
+			Endpoint: fmt.Sprintf("GET /op-%d", i),
+		}
+		start := time.Unix(int64(id), 0)
+		tr := tracing.Trace{ID: id, Spans: []tracing.Span{
+			{TraceID: id, SpanID: 1, Service: root.Service, Version: root.Version,
+				Endpoint: root.Endpoint, Start: start, Duration: time.Millisecond},
+			{TraceID: id, SpanID: 2, ParentID: 1, Service: child.Service,
+				Version: child.Version, Endpoint: child.Endpoint,
+				Start: start, Duration: time.Millisecond},
+		}}
+		if err := exp.AddTrace(&tr); err != nil {
+			return err
+		}
+
+		t0 := time.Now()
+		full := health.Compare(base, exp)
+		t1 := time.Now()
+		fast := inc.Diff()
+		t2 := time.Now()
+		fullNs = append(fullNs, float64(t1.Sub(t0)))
+		incNs = append(incNs, float64(t2.Sub(t1)))
+		if len(full.Changes) != len(fast.Changes) {
+			return fmt.Errorf("fold %d: incremental diff diverged: %d changes vs Compare's %d",
+				i, len(fast.Changes), len(full.Changes))
+		}
+	}
+
+	sort.Float64s(fullNs)
+	sort.Float64s(incNs)
+	q := func(sorted []float64, p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return time.Duration(sorted[idx])
+	}
+	fmt.Fprintf(out, "incremental diff vs full Compare: %d endpoints, %d trace folds\n", endpoints, folds)
+	fmt.Fprintf(out, "  %-12s p50 %12s   p95 %12s   max %12s\n", "full", q(fullNs, 0.50), q(fullNs, 0.95), q(fullNs, 1))
+	fmt.Fprintf(out, "  %-12s p50 %12s   p95 %12s   max %12s\n", "incremental", q(incNs, 0.50), q(incNs, 0.95), q(incNs, 1))
+	if inc50 := q(incNs, 0.50); inc50 > 0 {
+		fmt.Fprintf(out, "  p50 speedup: %.1fx\n", float64(q(fullNs, 0.50))/float64(inc50))
 	}
 	return nil
 }

@@ -40,3 +40,18 @@ func TestRunBadSizes(t *testing.T) {
 		t.Error("expected error for bad sizes")
 	}
 }
+
+func TestRunIncremental(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-incremental", "-endpoints", "300", "-folds", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"incremental diff vs full Compare", "p50 speedup"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := run([]string{"-incremental", "-folds", "0"}, &out); err == nil {
+		t.Error("expected error for -folds 0")
+	}
+}

@@ -19,6 +19,15 @@ func String(h uint64, s string) uint64 {
 	return h
 }
 
+// Bytes folds b into h.
+func Bytes(h uint64, b []byte) uint64 {
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= Prime64
+	}
+	return h
+}
+
 // Byte folds one byte into h.
 func Byte(h uint64, b byte) uint64 {
 	h ^= uint64(b)

@@ -1,6 +1,11 @@
 package health
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"contexp/internal/tracing"
+)
 
 func BenchmarkCompare2000Endpoints(b *testing.B) {
 	base, exp, err := GenerateGraphPair(GraphGenConfig{Endpoints: 2000, ChangeFraction: 0.1, Seed: 1})
@@ -10,6 +15,34 @@ func BenchmarkCompare2000Endpoints(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if d := Compare(base, exp); len(d.Changes) == 0 {
+			b.Fatal("no changes")
+		}
+	}
+}
+
+// BenchmarkIncrementalDiff measures the live assessment unit at the
+// same scale as BenchmarkCompare2000Endpoints: fold one fresh trace
+// into the candidate graph, then re-derive the full diff through the
+// incremental maintenance. Where Compare re-walks both graphs (~ms),
+// this pays only for the changed endpoints.
+func BenchmarkIncrementalDiff(b *testing.B) {
+	base, exp, err := GenerateGraphPair(GraphGenConfig{Endpoints: 2000, ChangeFraction: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc := NewIncrementalDiff(base, exp)
+	if d := inc.Diff(); len(d.Changes) == 0 {
+		b.Fatal("no changes")
+	}
+	root := nk("frontend", "v1", "GET /")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := chainTrace(tracing.TraceID(1_000_000+i),
+			root, nk("svc-live", "v2", fmt.Sprintf("GET /op-%d", i)))
+		if err := exp.AddTrace(&tr); err != nil {
+			b.Fatal(err)
+		}
+		if d := inc.Diff(); len(d.Changes) == 0 {
 			b.Fatal("no changes")
 		}
 	}

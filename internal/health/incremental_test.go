@@ -1,0 +1,186 @@
+package health
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"contexp/internal/topology"
+	"contexp/internal/tracing"
+)
+
+// chainTrace builds a valid trace calling through the given node keys
+// in order: nodes[0] is the root, each subsequent node a child of the
+// previous, producing the edges nodes[i]→nodes[i+1].
+func chainTrace(id tracing.TraceID, nodes ...tracing.NodeKey) tracing.Trace {
+	start := time.Unix(int64(id), 0)
+	spans := make([]tracing.Span, len(nodes))
+	for i, nk := range nodes {
+		spans[i] = tracing.Span{
+			TraceID: id, SpanID: tracing.SpanID(i + 1),
+			Service: nk.Service, Version: nk.Version, Endpoint: nk.Endpoint,
+			Start: start.Add(time.Duration(i) * time.Millisecond), Duration: time.Millisecond,
+		}
+		if i > 0 {
+			spans[i].ParentID = tracing.SpanID(i)
+		}
+	}
+	return tracing.Trace{ID: id, Spans: spans}
+}
+
+// requireSameDiff asserts the incremental diff equals the reference
+// Compare output field for field, including ordering and nil-ness.
+func requireSameDiff(t *testing.T, step string, base, exp *topology.Graph, inc *IncrementalDiff) {
+	t.Helper()
+	got := inc.Diff()
+	want := Compare(base, exp)
+	if !reflect.DeepEqual(got.Changes, want.Changes) {
+		t.Fatalf("%s: Changes mismatch\n got: %v\nwant: %v", step, got.Changes, want.Changes)
+	}
+	if !reflect.DeepEqual(got.AddedNodes, want.AddedNodes) {
+		t.Fatalf("%s: AddedNodes mismatch\n got: %v\nwant: %v", step, got.AddedNodes, want.AddedNodes)
+	}
+	if !reflect.DeepEqual(got.RemovedNodes, want.RemovedNodes) {
+		t.Fatalf("%s: RemovedNodes mismatch\n got: %v\nwant: %v", step, got.RemovedNodes, want.RemovedNodes)
+	}
+	if !reflect.DeepEqual(got.UpdatedServices, want.UpdatedServices) {
+		t.Fatalf("%s: UpdatedServices mismatch\n got: %v\nwant: %v", step, got.UpdatedServices, want.UpdatedServices)
+	}
+}
+
+// TestIncrementalDiffMatchesCompare is the cross-check that keeps
+// Compare as the reference implementation: fold randomized trace
+// streams into both graphs and verify the incremental diff reproduces
+// the full Compare byte for byte after every fold. Node keys are drawn
+// from small pools so the streams hit every classification branch
+// (exact-edge overlap, logical overlap with version skew, shared and
+// disjoint endpoints, removals and their later suppression).
+func TestIncrementalDiffMatchesCompare(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			randNode := func() tracing.NodeKey {
+				return nk(
+					fmt.Sprintf("s%d", rng.Intn(5)),
+					fmt.Sprintf("v%d", 1+rng.Intn(3)),
+					fmt.Sprintf("GET /e%d", rng.Intn(4)),
+				)
+			}
+			base := topology.NewGraph(tracing.VariantBaseline)
+			exp := topology.NewGraph(tracing.VariantExperiment)
+
+			// Pre-populate the baseline before the tracker attaches:
+			// NewIncrementalDiff must absorb existing contents.
+			for i := 0; i < 5; i++ {
+				tr := chainTrace(tracing.TraceID(1000+i), randNode(), randNode(), randNode())
+				if err := base.AddTrace(&tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			inc := NewIncrementalDiff(base, exp)
+			requireSameDiff(t, "initial", base, exp, inc)
+
+			for i := 0; i < 120; i++ {
+				depth := 1 + rng.Intn(4)
+				nodes := make([]tracing.NodeKey, depth)
+				for j := range nodes {
+					nodes[j] = randNode()
+				}
+				tr := chainTrace(tracing.TraceID(i+1), nodes...)
+				g := exp
+				if rng.Intn(2) == 0 {
+					g = base
+				}
+				if err := g.AddTrace(&tr); err != nil {
+					t.Fatal(err)
+				}
+				// Check both every-fold freshness and batched folds.
+				if i%3 == 0 {
+					requireSameDiff(t, fmt.Sprintf("fold %d", i), base, exp, inc)
+				}
+			}
+			requireSameDiff(t, "final", base, exp, inc)
+		})
+	}
+}
+
+// TestIncrementalDiffTransitions drives the specific reclassification
+// flips the incremental maintenance must get right as graphs grow.
+func TestIncrementalDiffTransitions(t *testing.T) {
+	base := topology.NewGraph(tracing.VariantBaseline)
+	exp := topology.NewGraph(tracing.VariantExperiment)
+	inc := NewIncrementalDiff(base, exp)
+
+	fold := func(g *topology.Graph, id int, nodes ...tracing.NodeKey) {
+		t.Helper()
+		tr := chainTrace(tracing.TraceID(id), nodes...)
+		if err := g.AddTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTypes := func(step string, want ...ChangeType) {
+		t.Helper()
+		d := inc.Diff()
+		var got []ChangeType
+		for _, c := range d.Changes {
+			got = append(got, c.Type)
+		}
+		if !(len(got) == 0 && len(want) == 0) && !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: change types = %v, want %v", step, got, want)
+		}
+		requireSameDiff(t, step, base, exp, inc)
+	}
+
+	// Exp calls an endpoint the baseline has never seen.
+	fold(exp, 1, nk("front", "v2", "GET /"), nk("api", "v1", "GET /new"))
+	wantTypes("new endpoint", ChangeCallNewEndpoint)
+
+	// Baseline gains the endpoint (other version): downgrade to
+	// call-existing-endpoint.
+	fold(base, 2, nk("api", "v1", "GET /new"))
+	wantTypes("endpoint appears in base", ChangeCallExistingEndpoint)
+
+	// Baseline gains the same logical interaction with an older caller
+	// version: reclassifies as updated-caller-version.
+	fold(base, 3, nk("front", "v1", "GET /"), nk("api", "v1", "GET /new"))
+	wantTypes("logical interaction appears", ChangeUpdatedCallerVersion)
+
+	// Baseline gains the exact edge: the change disappears entirely, but
+	// base-only nodes now register as removals of their edges... none
+	// here since every base edge's logical pairing exists in exp.
+	fold(base, 4, nk("front", "v2", "GET /"), nk("api", "v1", "GET /new"))
+	wantTypes("exact edge appears")
+
+	// A base-only interaction surfaces as remove-call.
+	fold(base, 5, nk("front", "v2", "GET /"), nk("cart", "v1", "POST /add"))
+	wantTypes("base-only edge", ChangeRemoveCall)
+
+	// Exp performing the same logical call (any versions) suppresses the
+	// removal; the new exp edge itself is an update (new callee version).
+	fold(exp, 6, nk("front", "v2", "GET /"), nk("cart", "v2", "POST /add"))
+	wantTypes("removal suppressed", ChangeUpdatedCalleeVersion)
+
+	d := inc.Diff()
+	if !reflect.DeepEqual(d.UpdatedServices, []string{"cart"}) {
+		t.Fatalf("UpdatedServices = %v, want [cart]", d.UpdatedServices)
+	}
+}
+
+// TestIncrementalDiffCachesWhenClean verifies repeated Diff calls
+// without intervening folds return the cached materialization.
+func TestIncrementalDiffCachesWhenClean(t *testing.T) {
+	base, exp, err := GenerateGraphPair(GraphGenConfig{Endpoints: 100, ChangeFraction: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncrementalDiff(base, exp)
+	d1 := inc.Diff()
+	d2 := inc.Diff()
+	if d1 != d2 {
+		t.Fatal("clean Diff() should return the cached *Diff")
+	}
+	requireSameDiff(t, "generated pair", base, exp, inc)
+}

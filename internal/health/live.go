@@ -53,6 +53,34 @@ type runAssessment struct {
 	frozen                          bool
 	base, cand                      *topology.Graph
 	baseTraces, candTraces, skipped int
+	// inc maintains the topological diff incrementally as traces fold
+	// in, so a verdict between harvests costs O(changed endpoints)
+	// instead of an O(graph) Compare.
+	inc *IncrementalDiff
+	// Computed verdicts/views are cached per heuristic and invalidated
+	// by generation: gen counts every trace this assessment has seen
+	// (folded or skipped), so repeated health polls between harvests are
+	// free.
+	verdicts  map[string]*LiveVerdict
+	view      *AssessmentView
+	cachedGen int
+}
+
+// gen is the assessment's change generation: it advances whenever a
+// harvested trace touched this assessment in any way, including skips
+// (which still move the SkippedTraces counters surfaced in verdicts).
+func (a *runAssessment) gen() int {
+	return a.baseTraces + a.candTraces + a.skipped
+}
+
+// cacheAt invalidates stale cached verdicts and reports whether the
+// caches are valid for the current generation.
+func (a *runAssessment) cacheAt() {
+	if g := a.gen(); g != a.cachedGen {
+		a.verdicts = nil
+		a.view = nil
+		a.cachedGen = g
+	}
 }
 
 // DefaultSettle is the span-quiet window after which a trace is taken
@@ -92,12 +120,14 @@ func (m *Monitor) Register(run, service, baseline, candidate string) {
 	// first verdict cannot be computed from a predecessor's traffic
 	// still sitting in the collector.
 	m.ingestLocked()
-	m.runs[run] = &runAssessment{
+	a := &runAssessment{
 		run: run, service: service, baseline: baseline, candidate: candidate,
 		since: m.now(),
 		base:  topology.NewGraph(tracing.VariantBaseline),
 		cand:  topology.NewGraph(tracing.VariantExperiment),
 	}
+	a.inc = NewIncrementalDiff(a.base, a.cand)
+	m.runs[run] = a
 }
 
 // Freeze stops folding new traces into a run's graphs while keeping the
@@ -111,6 +141,9 @@ func (m *Monitor) Freeze(run string) {
 	m.ingestLocked()
 	if a := m.runs[run]; a != nil {
 		a.frozen = true
+		// The cached view renders Frozen; drop it so the next poll
+		// reflects the state change even though no trace folded.
+		a.view = nil
 	}
 }
 
@@ -245,6 +278,10 @@ func (m *Monitor) Verdict(run, heuristic string) (*LiveVerdict, error) {
 	if a == nil {
 		return nil, fmt.Errorf("health: run %q is not registered for topology assessment", run)
 	}
+	a.cacheAt()
+	if v := a.verdicts[h.Name()]; v != nil {
+		return v, nil
+	}
 	v := &LiveVerdict{
 		Run:             run,
 		Heuristic:       h.Name(),
@@ -252,7 +289,7 @@ func (m *Monitor) Verdict(run, heuristic string) (*LiveVerdict, error) {
 		CandidateTraces: a.candTraces,
 		SkippedTraces:   a.skipped,
 	}
-	diff := Compare(a.base, a.cand)
+	diff := a.inc.Diff()
 	for _, sc := range RankScored(h, diff) {
 		v.Changes = append(v.Changes, RankedChange{
 			Class:   sc.Type.String(),
@@ -261,6 +298,10 @@ func (m *Monitor) Verdict(run, heuristic string) (*LiveVerdict, error) {
 			Score:   sc.Score,
 		})
 	}
+	if a.verdicts == nil {
+		a.verdicts = make(map[string]*LiveVerdict)
+	}
+	a.verdicts[h.Name()] = v
 	return v, nil
 }
 
@@ -314,6 +355,10 @@ func (m *Monitor) View(run string) (*AssessmentView, error) {
 	if a == nil {
 		return nil, fmt.Errorf("health: run %q is not registered for topology assessment", run)
 	}
+	a.cacheAt()
+	if a.view != nil {
+		return a.view, nil
+	}
 	view := &AssessmentView{
 		Run: run, Service: a.service, Baseline: a.baseline, Candidate: a.candidate,
 		Frozen:          a.frozen,
@@ -323,7 +368,7 @@ func (m *Monitor) View(run string) (*AssessmentView, error) {
 		BaselineGraph:   GraphSummary{Nodes: a.base.NumNodes(), Edges: a.base.NumEdges(), Roots: len(a.base.Roots)},
 		CandidateGraph:  GraphSummary{Nodes: a.cand.NumNodes(), Edges: a.cand.NumEdges(), Roots: len(a.cand.Roots)},
 	}
-	diff := Compare(a.base, a.cand)
+	diff := a.inc.Diff()
 	def, _ := HeuristicByName("")
 	for _, sc := range RankScored(def, diff) {
 		view.Changes = append(view.Changes, RankedChange{
@@ -357,6 +402,7 @@ func (m *Monitor) View(run string) (*AssessmentView, error) {
 		}
 	}
 	view.Report = report.Render()
+	a.view = view
 	return view, nil
 }
 

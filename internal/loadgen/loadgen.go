@@ -144,6 +144,11 @@ type Config struct {
 	// store in batches (RecordBatch) so the generator does not pay one
 	// store round-trip per request.
 	Store *metrics.Store
+	// Sink, when non-nil, receives the same batched client telemetry as
+	// Store. A wire.Client satisfies it, so the generator can ship its
+	// observations to a remote contexpd as binary batch frames instead
+	// of (or alongside) recording in-process.
+	Sink MetricSink
 	// Metric is the latency series name recorded into Store
 	// (default "client_latency", milliseconds).
 	Metric string
@@ -154,6 +159,12 @@ type Config struct {
 	// seed and arrival parameters, so any failure observed in CI can be
 	// reproduced byte-for-byte locally.
 	Logf func(format string, args ...any)
+}
+
+// MetricSink receives batched telemetry. *metrics.Store and
+// *wire.Client both satisfy it.
+type MetricSink interface {
+	RecordBatch(samples []metrics.Sample)
 }
 
 // flushEvery bounds the client-telemetry batch the generator buffers
@@ -220,12 +231,19 @@ func Run(cfg Config, pop *Population, target Target) (*Result, error) {
 	if scope == (metrics.Scope{}) {
 		scope = metrics.Scope{Service: "loadgen", Version: "client"}
 	}
+	telemetry := cfg.Store != nil || cfg.Sink != nil
 	var pending []metrics.Sample
 	flush := func() {
-		if cfg.Store != nil && len(pending) > 0 {
-			cfg.Store.RecordBatch(pending)
-			pending = pending[:0]
+		if len(pending) == 0 {
+			return
 		}
+		if cfg.Store != nil {
+			cfg.Store.RecordBatch(pending)
+		}
+		if cfg.Sink != nil {
+			cfg.Sink.RecordBatch(pending)
+		}
+		pending = pending[:0]
 	}
 	issue := func(at time.Time) {
 		req := pop.Sample()
@@ -235,7 +253,7 @@ func Run(cfg Config, pop *Population, target Target) (*Result, error) {
 			return
 		}
 		res.Samples = append(res.Samples, Sample{At: at, Latency: latency, Failed: failed})
-		if cfg.Store != nil {
+		if telemetry {
 			pending = append(pending, metrics.Sample{
 				Metric: metric, Scope: scope, At: at,
 				Value: float64(latency) / float64(time.Millisecond),

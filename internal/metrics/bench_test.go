@@ -75,3 +75,28 @@ func BenchmarkQueryP95Hot(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStoreRecordBatch measures the batched ingestion path with a
+// realistic mixed batch (four series interleaved in runs, the shape the
+// binary ingestion endpoint and the simulators deliver). Steady-state
+// batch recording into existing series is allocation-free, and the
+// bench gate holds it there.
+func BenchmarkStoreRecordBatch(b *testing.B) {
+	st := NewStore(0)
+	now := time.Now()
+	batch := make([]Sample, 256)
+	for i := range batch {
+		batch[i] = Sample{
+			Metric: fmt.Sprintf("metric-%d", (i/16)%4),
+			Scope:  Scope{Service: "svc", Version: "v1", Variant: "baseline"},
+			At:     now.Add(time.Duration(i) * time.Millisecond),
+			Value:  1 + float64(i%100),
+		}
+	}
+	st.RecordBatch(batch) // create the series outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.RecordBatch(batch)
+	}
+}

@@ -377,6 +377,33 @@ func seriesKey(metric string, scope Scope) string {
 	return metric + "\x00" + scope.Service + "\x00" + scope.Version + "\x00" + scope.Variant
 }
 
+// appendSeriesKey builds seriesKey into dst, so batched ingestion can
+// probe the series map without materializing a key string per run.
+func appendSeriesKey(dst []byte, metric string, scope Scope) []byte {
+	dst = append(dst, metric...)
+	dst = append(dst, 0)
+	dst = append(dst, scope.Service...)
+	dst = append(dst, 0)
+	dst = append(dst, scope.Version...)
+	dst = append(dst, 0)
+	dst = append(dst, scope.Variant...)
+	return dst
+}
+
+// keyBufPool recycles the scratch buffers RecordBatch builds series
+// keys in.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// lookupBytes returns the series for the key bytes, or nil. The
+// string(key) map probe does not allocate.
+func (st *Store) lookupBytes(key []byte) *series {
+	sh := &st.shards[fnvx.Bytes(fnvx.Offset64, key)&(NumShards-1)]
+	sh.mu.RLock()
+	s := sh.series[string(key)]
+	sh.mu.RUnlock()
+	return s
+}
+
 func (st *Store) shardFor(key string) *shard {
 	return &st.shards[fnvx.String(fnvx.Offset64, key)&(NumShards-1)]
 }
@@ -429,13 +456,25 @@ type Sample struct {
 // simulators' per-request telemetry, load-generator flushes) amortize
 // the per-call overhead of Record.
 func (st *Store) RecordBatch(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	bufp := keyBufPool.Get().(*[]byte)
+	buf := *bufp
 	for i := 0; i < len(samples); {
 		j := i + 1
 		for j < len(samples) &&
 			samples[j].Metric == samples[i].Metric && samples[j].Scope == samples[i].Scope {
 			j++
 		}
-		s := st.getOrCreate(seriesKey(samples[i].Metric, samples[i].Scope))
+		// Probe with a pooled key buffer first: recording into existing
+		// series (the steady state) allocates nothing. Only a series'
+		// first-ever write materializes the key string.
+		buf = appendSeriesKey(buf[:0], samples[i].Metric, samples[i].Scope)
+		s := st.lookupBytes(buf)
+		if s == nil {
+			s = st.getOrCreate(string(buf))
+		}
 		s.mu.Lock()
 		for k := i; k < j; k++ {
 			s.recordLocked(samples[k].At, samples[k].Value)
@@ -443,6 +482,8 @@ func (st *Store) RecordBatch(samples []Sample) {
 		s.mu.Unlock()
 		i = j
 	}
+	*bufp = buf
+	keyBufPool.Put(bufp)
 }
 
 // Query reduces the observations of (metric, scope) recorded at or after

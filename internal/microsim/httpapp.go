@@ -29,11 +29,13 @@ import (
 // the metric store. Downstream calls go through the callee's proxy, so
 // every hop is subject to the experiment routing.
 type HTTPApplication struct {
-	app    *Application
-	table  *router.Table
-	store  *metrics.Store
-	traces *tracing.LiveCollector
-	faults *Injector
+	app       *Application
+	table     *router.Table
+	store     *metrics.Store
+	traces    *tracing.LiveCollector
+	faults    *Injector
+	telemetry MetricSink
+	spans     SpanSink
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -64,6 +66,29 @@ type HTTPConfig struct {
 	// HTTP backends (latency added to the slept service time, forced
 	// 500s, 503 blackouts).
 	Faults *Injector
+	// Telemetry, when set, replaces the direct store recording: each
+	// backend hands its per-request metric batch to the sink instead of
+	// the store. A wire.Client satisfies it, turning the shop's
+	// self-reported telemetry into binary batch frames posted to a
+	// contexpd ingestion endpoint (which lands them in the same store,
+	// over the wire).
+	Telemetry MetricSink
+	// Spans, when set, receives each backend span instead of
+	// Traces.Record. Traces is still required for trace participation —
+	// it mints the span IDs — but delivery goes through the sink (a
+	// wire.Client ships them as binary frames to POST /v1/spans).
+	Spans SpanSink
+}
+
+// MetricSink receives batched metric telemetry. *metrics.Store and
+// *wire.Client both satisfy it.
+type MetricSink interface {
+	RecordBatch(samples []metrics.Sample)
+}
+
+// SpanSink receives spans one at a time. *wire.Client satisfies it.
+type SpanSink interface {
+	RecordSpan(s tracing.Span)
 }
 
 // StartHTTP boots the application. The caller owns table and store and
@@ -82,6 +107,8 @@ func StartHTTP(app *Application, table *router.Table, store *metrics.Store, cfg 
 		store:        store,
 		traces:       cfg.Traces,
 		faults:       cfg.Faults,
+		telemetry:    cfg.Telemetry,
+		spans:        cfg.Spans,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		proxies:      make(map[string]*router.Proxy),
 		frontURL:     make(map[string]string),
@@ -286,7 +313,7 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 		scope := metrics.Scope{Service: sv.Service, Version: sv.Version, Variant: variant}
 		now := time.Now()
 		elapsedMs := float64(time.Since(start)) / float64(time.Millisecond)
-		if h.store != nil {
+		if h.store != nil || h.telemetry != nil {
 			// Self-report the request's telemetry as one batch.
 			batch := [3]metrics.Sample{
 				{Metric: MetricResponseTime, Scope: scope, At: now, Value: elapsedMs},
@@ -297,10 +324,14 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 			if failed {
 				n = 3
 			}
-			h.store.RecordBatch(batch[:n])
+			if h.telemetry != nil {
+				h.telemetry.RecordBatch(batch[:n])
+			} else {
+				h.store.RecordBatch(batch[:n])
+			}
 		}
 		if spanID != 0 {
-			h.traces.Record(tracing.Span{
+			span := tracing.Span{
 				TraceID:  traceID,
 				SpanID:   spanID,
 				ParentID: parentID,
@@ -310,7 +341,12 @@ func (h *HTTPApplication) backendHandler(sv *ServiceVersion) http.Handler {
 				Start:    start,
 				Duration: time.Since(start),
 				Err:      failed,
-			})
+			}
+			if h.spans != nil {
+				h.spans.RecordSpan(span)
+			} else {
+				h.traces.Record(span)
+			}
 		}
 		w.Header().Set("X-Version", sv.Version)
 		if perturb.Unavailable {

@@ -17,6 +17,7 @@ import (
 	"contexp/internal/microsim"
 	"contexp/internal/router"
 	"contexp/internal/tracing"
+	"contexp/internal/wire"
 )
 
 // DemoStrategyDSL is the canary → gradual-rollout strategy the demo
@@ -93,6 +94,15 @@ type DemoConfig struct {
 	// reports the live fault state. Typically built from a builtin
 	// chaos scenario via --demo-faults.
 	Faults *microsim.Injector
+	// TelemetryURL, when set, reroutes the shop's self-reported
+	// telemetry through the binary wire protocol: the backends and the
+	// load driver buffer their metric samples and spans into a
+	// wire.Client that posts application/x-contexp-batch frames to this
+	// contexpd base URL (typically the daemon's own listen address)
+	// instead of recording in-process. The telemetry lands in the same
+	// store and collector — but via POST /v1/metrics and /v1/spans,
+	// exactly the path an externally deployed application would use.
+	TelemetryURL string
 	// Logf receives demo progress lines (the load generator's seed line
 	// among them); nil discards them.
 	Logf func(format string, args ...any)
@@ -102,10 +112,11 @@ type DemoConfig struct {
 // real HTTP servers behind per-service router.Proxy instances, plus a
 // load generator playing the user population against the entry proxy.
 type Demo struct {
-	app      *microsim.HTTPApplication
-	topology *microsim.Application
-	entryURL string
-	faults   *microsim.Injector
+	app       *microsim.HTTPApplication
+	topology  *microsim.Application
+	entryURL  string
+	faults    *microsim.Injector
+	telemetry *wire.Client
 
 	requests        atomic.Int64
 	transportErrors atomic.Int64
@@ -139,12 +150,19 @@ func StartDemo(engine *bifrost.Engine, table *router.Table, store *metrics.Store
 	if err := microsim.InstallBaselineRoutes(app, table); err != nil {
 		return nil, fmt.Errorf("server: installing baseline routes: %w", err)
 	}
-	httpApp, err := microsim.StartHTTP(app, table, store, microsim.HTTPConfig{
+	var telemetry *wire.Client
+	httpCfg := microsim.HTTPConfig{
 		LatencyScale: cfg.LatencyScale,
 		Seed:         cfg.Seed,
 		Traces:       cfg.Traces,
 		Faults:       cfg.Faults,
-	})
+	}
+	if cfg.TelemetryURL != "" {
+		telemetry = wire.NewClient(cfg.TelemetryURL, nil, 0)
+		httpCfg.Telemetry = telemetry
+		httpCfg.Spans = telemetry
+	}
+	httpApp, err := microsim.StartHTTP(app, table, store, httpCfg)
 	if err != nil {
 		return nil, fmt.Errorf("server: starting shop servers: %w", err)
 	}
@@ -164,12 +182,13 @@ func StartDemo(engine *bifrost.Engine, table *router.Table, store *metrics.Store
 
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Demo{
-		app:      httpApp,
-		topology: app,
-		entryURL: httpApp.EntryURL(),
-		faults:   cfg.Faults,
-		cancel:   cancel,
-		done:     make(chan struct{}),
+		app:       httpApp,
+		topology:  app,
+		entryURL:  httpApp.EntryURL(),
+		faults:    cfg.Faults,
+		telemetry: telemetry,
+		cancel:    cancel,
+		done:      make(chan struct{}),
 	}
 	go d.drive(ctx, pop, cfg)
 
@@ -264,13 +283,23 @@ func (d *Demo) drive(ctx context.Context, pop *loadgen.Population, cfg DemoConfi
 		if seed != cfg.Seed {
 			logf = nil
 		}
-		_, _ = loadgen.Run(loadgen.Config{
+		runCfg := loadgen.Config{
 			RPS:      cfg.RPS,
 			Duration: 2 * time.Second,
 			Start:    time.Now(),
 			Seed:     seed,
 			Logf:     logf,
-		}, pop, target)
+		}
+		if d.telemetry != nil {
+			// Ship the client-observed latencies over the wire too, and
+			// flush each chunk's leftovers so telemetry stays fresh even
+			// below the batch threshold.
+			runCfg.Sink = d.telemetry
+		}
+		_, _ = loadgen.Run(runCfg, pop, target)
+		if d.telemetry != nil {
+			_ = d.telemetry.Flush()
+		}
 		seed++
 	}
 }
@@ -284,6 +313,10 @@ func (d *Demo) Stop() {
 	d.cancel()
 	<-d.done
 	d.app.Close()
+	if d.telemetry != nil {
+		// Best-effort final flush; the control plane may already be down.
+		_ = d.telemetry.Flush()
+	}
 }
 
 // DemoHealth is the /healthz view of the demo environment.
@@ -300,11 +333,22 @@ type DemoHealth struct {
 	// every configured fault with its window, whether it is active right
 	// now, and how many calls it has perturbed so far.
 	Faults []microsim.FaultStatus `json:"faults,omitempty"`
+	// Telemetry reports the wire-telemetry client when the demo ships
+	// its telemetry as binary batch frames (DemoConfig.TelemetryURL).
+	Telemetry *DemoTelemetry `json:"telemetry,omitempty"`
+}
+
+// DemoTelemetry is the /healthz view of the demo's wire-telemetry
+// client: how many binary batch frames it has posted and how many
+// posts failed.
+type DemoTelemetry struct {
+	Flushes uint64 `json:"flushes"`
+	Errors  uint64 `json:"errors"`
 }
 
 // Health reports the demo's state.
 func (d *Demo) Health() *DemoHealth {
-	return &DemoHealth{
+	h := &DemoHealth{
 		Services:        d.topology.Services(),
 		EntryURL:        d.entryURL,
 		RequestsServed:  d.requests.Load(),
@@ -312,4 +356,11 @@ func (d *Demo) Health() *DemoHealth {
 		MirrorDrops:     d.app.MirrorDrops(),
 		Faults:          d.faults.Snapshot(time.Now()),
 	}
+	if d.telemetry != nil {
+		h.Telemetry = &DemoTelemetry{
+			Flushes: d.telemetry.Flushes(),
+			Errors:  d.telemetry.Errors(),
+		}
+	}
+	return h
 }

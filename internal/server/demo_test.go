@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/health"
 	"contexp/internal/metrics"
 	"contexp/internal/microsim"
 	"contexp/internal/router"
+	"contexp/internal/tracing"
 )
 
 // shopCanaryDSL is a demo-scale version of the quickstart strategy:
@@ -321,5 +323,83 @@ func TestDemoFaultSurface(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("no seed line in demo logs: %q", logLines)
+	}
+}
+
+// TestDemoWireTelemetry boots the demo with TelemetryURL aimed at the
+// control plane's own API: the shop's metrics and spans must arrive in
+// the store and collector exclusively through the binary ingestion
+// endpoints, and /healthz must report the wire client's flushes.
+func TestDemoWireTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real HTTP servers")
+	}
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	collector := tracing.NewLiveCollector(100_000)
+	monitor := health.NewMonitor(collector, -1)
+	engine, err := bifrost.NewEngine(bifrost.Config{
+		Table:                table,
+		Store:                store,
+		DefaultCheckInterval: 500 * time.Millisecond,
+		Topology:             monitor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Engine: engine,
+		Table:  table,
+		Store:  store,
+		Traces: collector,
+		Health: monitor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	demo, err := StartDemo(engine, table, store, DemoConfig{
+		RPS:            60,
+		LatencyScale:   0.02,
+		PopulationSize: 50,
+		Seed:           11,
+		Enact:          false,
+		Traces:         collector,
+		TelemetryURL:   ts.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer demo.Stop()
+	s.SetDemo(demo)
+
+	// The backends buffer telemetry into the wire client and flush at
+	// the batch threshold (or at each 2s load chunk). Wait until both
+	// telemetry kinds have crossed the wire.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if store.SeriesCount() > 0 && collector.SpanCount() > 0 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if store.SeriesCount() == 0 {
+		t.Fatal("no metric series arrived over the wire")
+	}
+	if collector.SpanCount() == 0 {
+		t.Fatal("no spans arrived over the wire")
+	}
+
+	h := demo.Health()
+	if h.Telemetry == nil {
+		t.Fatal("demo health should report the wire-telemetry client")
+	}
+	if h.Telemetry.Flushes == 0 {
+		t.Error("wire client reported zero flushes despite delivered telemetry")
+	}
+	if h.Telemetry.Errors != 0 {
+		t.Errorf("wire client reported %d transport errors", h.Telemetry.Errors)
 	}
 }

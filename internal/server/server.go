@@ -26,12 +26,14 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"contexp/internal/bifrost"
@@ -40,6 +42,7 @@ import (
 	"contexp/internal/metrics"
 	"contexp/internal/router"
 	"contexp/internal/tracing"
+	"contexp/internal/wire"
 )
 
 // Config parameterizes a Server.
@@ -331,11 +334,92 @@ type Observation struct {
 	At      time.Time `json:"at,omitzero"`
 }
 
+// --- binary ingestion plumbing ---
+//
+// Both telemetry handlers content-negotiate on Content-Type: frames
+// tagged application/x-contexp-batch take the pooled zero-alloc binary
+// path; everything else flows through the original JSON decoding,
+// byte for byte unchanged.
+
+// frameBufPool holds the request-body scratch buffers of the binary
+// ingestion path, so steady-state ingestion reads frames without
+// per-request buffer churn.
+var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// isBinaryBatch reports whether the request carries a binary batch
+// frame (parameters after the media type are tolerated).
+func isBinaryBatch(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == wire.ContentType || strings.HasPrefix(ct, wire.ContentType+";")
+}
+
+// readFrame reads the request body into a pooled buffer, mapping
+// oversize to 413. On false, the error response is already written.
+func (s *Server) readFrame(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, bool) {
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if _, err := buf.ReadFrom(body); err != nil {
+		frameBufPool.Put(buf)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch larger than %d bytes", s.cfg.MaxBodyBytes)
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return buf, true
+}
+
+// handleIngestMetricsBinary is the binary twin of handleIngestMetrics:
+// pooled frame buffer, pooled columnar decoder, same validation and
+// no-partial-recording contract — the batch reaches the store only
+// after every sample validated.
+func (s *Server) handleIngestMetricsBinary(w http.ResponseWriter, r *http.Request) {
+	buf, ok := s.readFrame(w, r)
+	if !ok {
+		return
+	}
+	defer frameBufPool.Put(buf)
+	dec := wire.GetMetricsDecoder()
+	defer wire.PutMetricsDecoder(dec)
+	samples, err := dec.Decode(buf.Bytes())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(samples) == 0 {
+		writeError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	for i := range samples {
+		if samples[i].Metric == "" || samples[i].Scope.Service == "" || samples[i].Scope.Version == "" {
+			writeError(w, http.StatusBadRequest,
+				"observation %d: metric, service, and version are required", i)
+			return
+		}
+	}
+	now := time.Now()
+	for i := range samples {
+		if samples[i].At.IsZero() {
+			samples[i].At = now
+		}
+	}
+	s.cfg.Store.RecordBatch(samples)
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(samples)})
+}
+
 // handleIngestMetrics records a batch of observations, the ingestion
 // path real services use in place of the simulator's self-reporting.
 // The whole batch goes to the store in one RecordBatch call, so
 // same-series runs are appended under a single lock acquisition.
 func (s *Server) handleIngestMetrics(w http.ResponseWriter, r *http.Request) {
+	if isBinaryBatch(r) {
+		s.handleIngestMetricsBinary(w, r)
+		return
+	}
 	var batch struct {
 		Observations []Observation `json:"observations"`
 	}

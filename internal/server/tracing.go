@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"contexp/internal/tracing"
+	"contexp/internal/wire"
 )
 
 // This file is the tracing face of the control plane: batched span
@@ -29,11 +30,59 @@ type SpanObservation struct {
 	Error      bool    `json:"error,omitempty"`
 }
 
+// handleIngestSpansBinary is the binary twin of handleIngestSpans:
+// pooled frame buffer, pooled columnar decoder, identical validation
+// before anything reaches the collector.
+func (s *Server) handleIngestSpansBinary(w http.ResponseWriter, r *http.Request) {
+	buf, ok := s.readFrame(w, r)
+	if !ok {
+		return
+	}
+	defer frameBufPool.Put(buf)
+	dec := wire.GetSpansDecoder()
+	defer wire.PutSpansDecoder(dec)
+	spans, err := dec.Decode(buf.Bytes())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(spans) == 0 {
+		writeError(w, http.StatusBadRequest, "no spans")
+		return
+	}
+	for i := range spans {
+		if spans[i].TraceID == 0 || spans[i].SpanID == 0 {
+			writeError(w, http.StatusBadRequest, "span %d: traceId and spanId are required", i)
+			return
+		}
+		if spans[i].Service == "" || spans[i].Version == "" || spans[i].Endpoint == "" {
+			writeError(w, http.StatusBadRequest,
+				"span %d: service, version, and endpoint are required", i)
+			return
+		}
+	}
+	now := time.Now()
+	for i := range spans {
+		if spans[i].Start.IsZero() {
+			spans[i].Start = now.Add(-spans[i].Duration)
+		}
+	}
+	accepted := s.cfg.Traces.RecordBatch(spans)
+	writeJSON(w, http.StatusAccepted, map[string]int{
+		"accepted": accepted,
+		"dropped":  len(spans) - accepted,
+	})
+}
+
 // handleIngestSpans records a batch of spans into the live collector —
 // the ingestion path real instrumented services use in place of the
 // simulator's in-process self-reporting. Spans beyond the collector's
 // cap are dropped (and counted), never blocking the sender.
 func (s *Server) handleIngestSpans(w http.ResponseWriter, r *http.Request) {
+	if isBinaryBatch(r) {
+		s.handleIngestSpansBinary(w, r)
+		return
+	}
 	var batch struct {
 		Spans []SpanObservation `json:"spans"`
 	}

@@ -69,8 +69,47 @@ type Graph struct {
 	Edges   map[EdgeKey]*Edge
 	// Roots are entry-point nodes (reached by root spans).
 	Roots map[tracing.NodeKey]bool
-	// out adjacency, deterministic ordering computed lazily.
+	// out adjacency, deterministic ordering computed lazily and
+	// maintained incrementally as AddTrace folds new edges in.
 	out map[tracing.NodeKey][]tracing.NodeKey
+	// dirty, when attached via Track, accumulates the keys of nodes and
+	// edges AddTrace creates — the change-notification feed incremental
+	// consumers (health.IncrementalDiff) drain instead of re-walking the
+	// graph.
+	dirty *Dirty
+}
+
+// Dirty accumulates the node and edge keys a graph gained since the
+// last Drain: the change-notification feed of the incremental analysis
+// plane. Only structural novelty is reported — a key appears exactly
+// once, when AddTrace first creates its node or edge. Statistics
+// updates to existing keys (calls, errors, durations) are not reported,
+// since the topological diff depends only on which keys exist.
+type Dirty struct {
+	Nodes []tracing.NodeKey
+	Edges []EdgeKey
+}
+
+// Drain returns the accumulated keys and resets the sets. The returned
+// slices are owned by the caller; the tracker starts fresh.
+func (d *Dirty) Drain() (nodes []tracing.NodeKey, edges []EdgeKey) {
+	nodes, edges = d.Nodes, d.Edges
+	d.Nodes, d.Edges = nil, nil
+	return nodes, edges
+}
+
+// Empty reports whether nothing changed since the last Drain.
+func (d *Dirty) Empty() bool { return len(d.Nodes) == 0 && len(d.Edges) == 0 }
+
+// Track attaches (and returns) the graph's change tracker. All
+// mutations MUST flow through AddTrace from this point on — direct map
+// manipulation bypasses the feed. A graph has at most one tracker;
+// repeated calls return the same one.
+func (g *Graph) Track() *Dirty {
+	if g.dirty == nil {
+		g.dirty = &Dirty{}
+	}
+	return g.dirty
 }
 
 // NewGraph returns an empty graph for the given variant.
@@ -108,7 +147,6 @@ func (g *Graph) AddTrace(tr *tracing.Trace) error {
 }
 
 func (g *Graph) addTrace(tr *tracing.Trace) {
-	g.out = nil // invalidate adjacency cache
 	byID := make(map[tracing.SpanID]tracing.Span, len(tr.Spans))
 	for _, s := range tr.Spans {
 		byID[s.SpanID] = s
@@ -119,6 +157,9 @@ func (g *Graph) addTrace(tr *tracing.Trace) {
 		if n == nil {
 			n = &Node{Key: key}
 			g.Nodes[key] = n
+			if g.dirty != nil {
+				g.dirty.Nodes = append(g.dirty.Nodes, key)
+			}
 		}
 		n.Calls++
 		if s.Err {
@@ -140,9 +181,29 @@ func (g *Graph) addTrace(tr *tracing.Trace) {
 		if e == nil {
 			e = &Edge{Key: ek}
 			g.Edges[ek] = e
+			if g.dirty != nil {
+				g.dirty.Edges = append(g.dirty.Edges, ek)
+			}
+			// Keep the adjacency cache coherent instead of discarding it:
+			// a new edge inserts its callee in sorted position, so the
+			// live pipeline's per-trace fold stays O(degree) rather than
+			// forcing an O(edges log edges) rebuild on the next Callees.
+			if g.out != nil {
+				g.insertCallee(ek)
+			}
 		}
 		e.Calls++
 	}
+}
+
+// insertCallee inserts ek.To into the sorted adjacency list of ek.From.
+func (g *Graph) insertCallee(ek EdgeKey) {
+	tos := g.out[ek.From]
+	i := sort.Search(len(tos), func(i int) bool { return !nodeKeyLess(tos[i], ek.To) })
+	tos = append(tos, tracing.NodeKey{})
+	copy(tos[i+1:], tos[i:])
+	tos[i] = ek.To
+	g.out[ek.From] = tos
 }
 
 // NumNodes returns the node count.

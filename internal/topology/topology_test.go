@@ -158,3 +158,93 @@ func TestGraphString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+func TestTrackReportsOnlyNovelty(t *testing.T) {
+	g := NewGraph(tracing.VariantBaseline)
+	d := g.Track()
+	if !d.Empty() {
+		t.Fatal("fresh tracker should be empty")
+	}
+	if g.Track() != d {
+		t.Fatal("Track must return the same tracker on repeated calls")
+	}
+
+	tr := buildTrace(1, tracing.VariantBaseline, false)
+	if err := g.AddTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	nodes, edges := d.Drain()
+	if len(nodes) != 3 || len(edges) != 2 {
+		t.Fatalf("first fold: %d nodes, %d edges dirty, want 3/2", len(nodes), len(edges))
+	}
+	if !d.Empty() {
+		t.Fatal("tracker should be empty after Drain")
+	}
+
+	// Folding the identical topology again creates no new keys: the
+	// feed reports structural novelty, not statistics updates.
+	tr2 := buildTrace(2, tracing.VariantBaseline, true)
+	if err := g.AddTrace(&tr2); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		nodes, edges := d.Drain()
+		t.Fatalf("repeat fold dirtied %d nodes, %d edges, want none", len(nodes), len(edges))
+	}
+
+	// A new child endpoint dirties exactly the new node and edge.
+	tr3 := buildTrace(3, tracing.VariantBaseline, false)
+	tr3.Spans = append(tr3.Spans, tracing.Span{
+		TraceID: 3, SpanID: 4, ParentID: 1,
+		Service: "search", Version: "v1", Endpoint: "GET /q",
+		Start: tBase, Duration: time.Millisecond,
+	})
+	if err := g.AddTrace(&tr3); err != nil {
+		t.Fatal(err)
+	}
+	nodes, edges = d.Drain()
+	if len(nodes) != 1 || nodes[0] != nk("search", "v1", "GET /q") {
+		t.Fatalf("dirty nodes = %v", nodes)
+	}
+	if len(edges) != 1 || edges[0].To != nk("search", "v1", "GET /q") {
+		t.Fatalf("dirty edges = %v", edges)
+	}
+}
+
+func TestAddTraceMaintainsAdjacencyCache(t *testing.T) {
+	g := NewGraph(tracing.VariantBaseline)
+	tr := buildTrace(1, tracing.VariantBaseline, false)
+	if err := g.AddTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	front := nk("frontend", "v1", "GET /")
+	if got := g.Callees(front); len(got) != 1 {
+		t.Fatalf("Callees = %v", got)
+	}
+	// Fold edges after the cache materialized: insertion must keep the
+	// per-caller lists sorted without a rebuild.
+	for _, ep := range []string{"GET /z", "GET /a", "GET /m"} {
+		tr := buildTrace(2, tracing.VariantBaseline, false)
+		tr.Spans = append(tr.Spans, tracing.Span{
+			TraceID: 2, SpanID: 4, ParentID: 1,
+			Service: "aux", Version: "v1", Endpoint: ep,
+			Start: tBase, Duration: time.Millisecond,
+		})
+		if err := g.AddTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.Callees(front)
+	want := []tracing.NodeKey{
+		nk("aux", "v1", "GET /a"), nk("aux", "v1", "GET /m"), nk("aux", "v1", "GET /z"),
+		nk("catalog", "v1", "GET /products"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Callees = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Callees[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -26,6 +26,12 @@ type LiveCollector struct {
 	harvested atomic.Int64
 
 	shards [liveShards]liveShard
+
+	// harvestMu serializes harvesters and guards scratch, the Trace
+	// slice Harvest reuses across calls so the periodic poll loop is
+	// allocation-free at steady state.
+	harvestMu sync.Mutex
+	scratch   []Trace
 }
 
 const liveShards = 16
@@ -111,9 +117,14 @@ func (c *LiveCollector) RecordBatch(spans []Span) int {
 // to the analysis plane exactly once. Spans arriving for an already
 // harvested trace start a new partial trace, which trace validation in
 // the graph builder later rejects.
+//
+// The returned slice is owned by the collector and reused by the next
+// Harvest call: consume (fold or copy) the traces before harvesting
+// again. The spans inside each Trace are handed over for keeps.
 func (c *LiveCollector) Harvest(settle time.Duration) []Trace {
 	cutoff := time.Now().Add(-settle)
-	var out []Trace
+	c.harvestMu.Lock()
+	out := c.scratch[:0]
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -128,6 +139,14 @@ func (c *LiveCollector) Harvest(settle time.Duration) []Trace {
 		}
 		sh.mu.Unlock()
 	}
+	// Drop the span pointers past the live prefix so the scratch array
+	// does not pin the previous harvest's spans until it is overwritten.
+	tail := out[len(out):cap(out)]
+	for i := range tail {
+		tail[i] = Trace{}
+	}
+	c.scratch = out
+	c.harvestMu.Unlock()
 	c.harvested.Add(int64(len(out)))
 	return out
 }

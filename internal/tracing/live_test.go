@@ -186,3 +186,30 @@ func BenchmarkLiveCollectorRecord(b *testing.B) {
 	})
 	_ = fmt.Sprint(c.SpanCount())
 }
+
+// BenchmarkLiveCollectorHarvest measures the harvest sweep alone: spans
+// are recorded with the timer stopped, so allocs/op counts only what
+// Harvest itself does. The reused scratch slice keeps the steady-state
+// poll loop allocation-free, and the bench gate holds it there.
+func BenchmarkLiveCollectorHarvest(b *testing.B) {
+	c := NewLiveCollector(0)
+	fill := func() {
+		for t := uint64(1); t <= 64; t++ {
+			for s := uint64(0); s < 4; s++ {
+				c.Record(liveSpan(t, t*100+s+1, 0))
+			}
+		}
+	}
+	fill()
+	c.Harvest(0) // size the scratch slice
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fill()
+		b.StartTimer()
+		if got := len(c.Harvest(0)); got != 64 {
+			b.Fatalf("harvested %d traces, want 64", got)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"contexp/internal/metrics"
+	"contexp/internal/tracing"
+)
+
+// benchSamples mimics a loadgen flush: a few hundred samples over a
+// small set of series.
+func benchSamples(n int) []metrics.Sample {
+	at := time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+	out := make([]metrics.Sample, n)
+	for i := range out {
+		out[i] = metrics.Sample{
+			Metric: []string{"latency_ms", "error", "requests"}[i%3],
+			Scope: metrics.Scope{
+				Service: fmt.Sprintf("svc-%d", i%8),
+				Version: []string{"v1", "v2"}[i%2],
+				Variant: []string{"baseline", "canary"}[i%2],
+			},
+			Value: float64(i),
+			At:    at.Add(time.Duration(i) * time.Millisecond),
+		}
+	}
+	return out
+}
+
+func benchSpans(n int) []tracing.Span {
+	at := time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+	out := make([]tracing.Span, n)
+	for i := range out {
+		out[i] = tracing.Span{
+			TraceID: tracing.TraceID(i/4 + 1), SpanID: tracing.SpanID(i + 1),
+			Service:  fmt.Sprintf("svc-%d", i%8),
+			Version:  []string{"v1", "v2"}[i%2],
+			Endpoint: []string{"GET /", "GET /products", "POST /cart"}[i%3],
+			Start:    at.Add(time.Duration(i) * time.Millisecond),
+			Duration: time.Duration(i%20) * time.Millisecond,
+			Err:      i%13 == 0,
+		}
+		if i%4 != 0 {
+			out[i].ParentID = out[i-1].SpanID
+		}
+	}
+	return out
+}
+
+// BenchmarkWireDecodeMetrics is the gated zero-alloc decode path: after
+// the intern table warms, decoding a 256-sample frame must not allocate.
+func BenchmarkWireDecodeMetrics(b *testing.B) {
+	var e MetricsEncoder
+	var d MetricsDecoder
+	frame := append([]byte(nil), e.Encode(benchSamples(256))...)
+	if _, err := d.Decode(frame); err != nil { // warm the intern table
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := d.Decode(frame)
+		if err != nil || len(out) != 256 {
+			b.Fatalf("decode: %v, %d samples", err, len(out))
+		}
+	}
+}
+
+// BenchmarkWireDecodeSpans is the span twin of the gated decode bench.
+func BenchmarkWireDecodeSpans(b *testing.B) {
+	var e SpansEncoder
+	var d SpansDecoder
+	frame := append([]byte(nil), e.Encode(benchSpans(256))...)
+	if _, err := d.Decode(frame); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := d.Decode(frame)
+		if err != nil || len(out) != 256 {
+			b.Fatalf("decode: %v, %d spans", err, len(out))
+		}
+	}
+}
+
+// BenchmarkWireEncodeMetrics tracks the sender-side cost (the encoder
+// reuses its buffers, so steady state stays allocation-flat too).
+func BenchmarkWireEncodeMetrics(b *testing.B) {
+	var e MetricsEncoder
+	samples := benchSamples(256)
+	e.Encode(samples)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if frame := e.Encode(samples); len(frame) < HeaderSize {
+			b.Fatal("short frame")
+		}
+	}
+}

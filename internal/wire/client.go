@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"contexp/internal/metrics"
+	"contexp/internal/tracing"
+)
+
+// DefaultBatch is the flush threshold of a Client's telemetry buffers.
+const DefaultBatch = 256
+
+// Client buffers metric samples and spans and ships them to a contexpd
+// as binary batch frames — the emitter side of the codec, used by the
+// load generator, the simulated services, and the demo when they report
+// telemetry over HTTP instead of in-process. Safe for concurrent use.
+type Client struct {
+	metricsURL, spansURL string
+	hc                   *http.Client
+	batch                int
+
+	mu      sync.Mutex
+	menc    MetricsEncoder
+	senc    SpansEncoder
+	samples []metrics.Sample
+	spans   []tracing.Span
+
+	flushes atomic.Uint64
+	errors  atomic.Uint64
+}
+
+// NewClient creates a Client posting to baseURL's /v1/metrics and
+// /v1/spans. hc nil uses http.DefaultClient; batch <= 0 uses
+// DefaultBatch.
+func NewClient(baseURL string, hc *http.Client, batch int) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	return &Client{
+		metricsURL: baseURL + "/v1/metrics",
+		spansURL:   baseURL + "/v1/spans",
+		hc:         hc,
+		batch:      batch,
+	}
+}
+
+// RecordMetric buffers one sample, flushing when the batch fills.
+func (c *Client) RecordMetric(s metrics.Sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	flush := len(c.samples) >= c.batch
+	c.mu.Unlock()
+	if flush {
+		_ = c.Flush()
+	}
+}
+
+// RecordBatch buffers samples, flushing when the batch fills. It
+// satisfies the same shape as metrics.Store.RecordBatch so simulators
+// can target either sink.
+func (c *Client) RecordBatch(samples []metrics.Sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, samples...)
+	flush := len(c.samples) >= c.batch
+	c.mu.Unlock()
+	if flush {
+		_ = c.Flush()
+	}
+}
+
+// RecordSpan buffers one span, flushing when the batch fills.
+func (c *Client) RecordSpan(s tracing.Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	flush := len(c.spans) >= c.batch
+	c.mu.Unlock()
+	if flush {
+		_ = c.Flush()
+	}
+}
+
+// Flush ships everything buffered. Failed posts count toward Errors;
+// the buffered telemetry is dropped either way (ingestion is lossy by
+// design, like the collector's span cap).
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	var mframe, sframe []byte
+	if len(c.samples) > 0 {
+		mframe = c.menc.Encode(c.samples)
+		c.samples = c.samples[:0]
+	}
+	if len(c.spans) > 0 {
+		sframe = c.senc.Encode(c.spans)
+		c.spans = c.spans[:0]
+	}
+	// Post under the lock: the encoders' frame buffers are reused by the
+	// next Encode, so they must not escape the critical section.
+	var firstErr error
+	if mframe != nil {
+		if err := c.post(c.metricsURL, mframe); err != nil {
+			firstErr = err
+		}
+	}
+	if sframe != nil {
+		if err := c.post(c.spansURL, sframe); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.mu.Unlock()
+	return firstErr
+}
+
+func (c *Client) post(url string, frame []byte) error {
+	c.flushes.Add(1)
+	resp, err := c.hc.Post(url, ContentType, bytes.NewReader(frame))
+	if err != nil {
+		c.errors.Add(1)
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		c.errors.Add(1)
+		return fmt.Errorf("wire: %s returned %s", url, resp.Status)
+	}
+	return nil
+}
+
+// Flushes reports how many frames the client has posted.
+func (c *Client) Flushes() uint64 { return c.flushes.Load() }
+
+// Errors reports how many posts failed (transport or non-202 status).
+func (c *Client) Errors() uint64 { return c.errors.Load() }

@@ -1,0 +1,39 @@
+package wire
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// newStubServer accepts binary frames on /v1/metrics and /v1/spans,
+// validates them with the real decoders, and counts posts.
+func newStubServer(t *testing.T, onPost func()) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("reading stub body: %v", err)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != ContentType {
+			t.Errorf("Content-Type = %q", ct)
+		}
+		switch r.URL.Path {
+		case "/v1/metrics":
+			var d MetricsDecoder
+			if _, err := d.Decode(body); err != nil {
+				t.Errorf("decoding metrics frame: %v", err)
+			}
+		case "/v1/spans":
+			var d SpansDecoder
+			if _, err := d.Decode(body); err != nil {
+				t.Errorf("decoding spans frame: %v", err)
+			}
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		onPost()
+		w.WriteHeader(http.StatusAccepted)
+	}))
+}
