@@ -15,6 +15,8 @@
 //	--capacity 0.8           aggregate candidate-traffic share ceiling
 //	--trace-buffer 100000    span cap of the live trace collector;
 //	                         0 disables the topology pipeline
+//	--fleet-heartbeat 5s     heartbeat interval of the agent watch
+//	                         streams (see cmd/contexp-agent)
 //	--demo                   boot the simulated shop and drive traffic
 //	--demo-rps 25            demo request rate
 //	--demo-latency-scale 0.1 demo latency compression factor
@@ -74,6 +76,7 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/fleet"
 	"contexp/internal/health"
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
@@ -85,20 +88,21 @@ import (
 )
 
 type options struct {
-	addr          string
-	dataDir       string
-	checkInterval time.Duration
-	maxConcurrent int
-	capacity      float64
-	traceBuffer   int
-	demo          bool
-	demoRPS       float64
-	demoScale     float64
-	demoPop       int
-	demoSeed      int64
-	demoEnact     bool
-	demoFaults    string
-	demoWire      bool
+	addr           string
+	dataDir        string
+	checkInterval  time.Duration
+	maxConcurrent  int
+	capacity       float64
+	traceBuffer    int
+	fleetHeartbeat time.Duration
+	demo           bool
+	demoRPS        float64
+	demoScale      float64
+	demoPop        int
+	demoSeed       int64
+	demoEnact      bool
+	demoFaults     string
+	demoWire       bool
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -115,6 +119,8 @@ func parseFlags(args []string) (*options, error) {
 		"aggregate candidate-traffic share ceiling across concurrent runs (0,1]")
 	fs.IntVar(&opt.traceBuffer, "trace-buffer", 100_000,
 		"span cap of the live trace collector feeding topology checks; 0 disables live tracing")
+	fs.DurationVar(&opt.fleetHeartbeat, "fleet-heartbeat", 5*time.Second,
+		"heartbeat interval of the agent watch streams (/v1/routing/watch)")
 	fs.BoolVar(&opt.demo, "demo", false,
 		"boot the simulated shop behind routing proxies and drive traffic")
 	fs.Float64Var(&opt.demoRPS, "demo-rps", 25, "demo request rate (requests/second)")
@@ -147,6 +153,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if opt.traceBuffer < 0 {
 		return nil, errors.New("--trace-buffer must be >= 0")
+	}
+	if opt.fleetHeartbeat <= 0 {
+		return nil, errors.New("--fleet-heartbeat must be positive")
 	}
 	if opt.demoFaults != "" && !opt.demo {
 		return nil, errors.New("--demo-faults requires --demo")
@@ -282,9 +291,14 @@ func run(args []string) error {
 		}
 	}
 
+	// Fleet hub: every contexpd distributes its routing table to edge
+	// agents over /v1/routing/watch; the flag only tunes the heartbeat.
+	hub := fleet.New(fleet.Config{Table: table, HeartbeatInterval: opt.fleetHeartbeat})
+	defer hub.Close()
+
 	srv, err := server.New(server.Config{
 		Engine: engine, Table: table, Store: store, Journal: jnl, Scheduler: sched,
-		Traces: collector, Health: monitor,
+		Traces: collector, Health: monitor, Fleet: hub,
 	})
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@
 //	expctl health <run> [--addr URL] # live topology assessment of a run
 //	expctl schedule [--addr URL]     # live schedule: running, queue, Gantt
 //	expctl queue [--addr URL]        # queued submissions only
+//	expctl agents [--addr URL]       # edge-agent fleet: applied versions, lag
 //
 // The runs and events commands read the same durable state the daemon
 // recovers from its journal, so a run's pre-crash history is readable
@@ -38,7 +39,7 @@ func main() {
 	}
 }
 
-const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl <runs|schedule|queue> [--addr URL] | expctl <events|health> <run> [--addr URL]"
+const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl <runs|schedule|queue|agents> [--addr URL] | expctl <events|health> <run> [--addr URL]"
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
@@ -77,6 +78,15 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("usage: expctl health <run> [--addr URL]")
 		}
 		return showHealth(addr, rest[0], out)
+	case "agents":
+		addr, rest, err := parseHTTPFlags("agents", args[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) > 0 {
+			return fmt.Errorf("agents takes no arguments")
+		}
+		return listAgents(addr, out)
 	case "schedule", "queue":
 		addr, rest, err := parseHTTPFlags(cmd, args[1:])
 		if err != nil {
@@ -319,6 +329,56 @@ func showQueue(addr string, out io.Writer) error {
 		return err
 	}
 	printQueue(view.Queue, out)
+	return nil
+}
+
+// agentView mirrors the server's fleet.AgentState.
+type agentView struct {
+	ID             string    `json:"id"`
+	Addr           string    `json:"addr"`
+	Connected      bool      `json:"connected"`
+	SentVersion    uint64    `json:"sentVersion"`
+	AppliedVersion uint64    `json:"appliedVersion"`
+	Lag            uint64    `json:"lag"`
+	LastAck        time.Time `json:"lastAck"`
+	Resolves       uint64    `json:"resolves"`
+	Stale          bool      `json:"stale"`
+}
+
+// listAgents prints the edge-agent fleet: who is connected, which
+// routing snapshot version each agent has applied, and how far behind
+// the control plane's published version it is.
+func listAgents(addr string, out io.Writer) error {
+	var resp struct {
+		CurrentVersion uint64      `json:"currentVersion"`
+		Agents         []agentView `json:"agents"`
+	}
+	if err := getJSON(addr, "/v1/agents", &resp); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "routing snapshot version %d, %d agents\n", resp.CurrentVersion, len(resp.Agents))
+	if len(resp.Agents) == 0 {
+		return nil
+	}
+	fmt.Fprintf(out, "%-20s %-22s %-10s %8s %5s %10s %-10s\n",
+		"ID", "ADDR", "STATE", "APPLIED", "LAG", "RESOLVES", "LAST-ACK")
+	for _, a := range resp.Agents {
+		state := "offline"
+		switch {
+		case a.Connected && a.Stale:
+			state = "stale" // connected but self-reporting an expired lease
+		case a.Connected:
+			state = "live"
+		case a.Stale:
+			state = "stale"
+		}
+		lastAck := "-"
+		if !a.LastAck.IsZero() {
+			lastAck = time.Since(a.LastAck).Round(time.Second).String() + " ago"
+		}
+		fmt.Fprintf(out, "%-20s %-22s %-10s %8d %5d %10d %-10s\n",
+			a.ID, a.Addr, state, a.AppliedVersion, a.Lag, a.Resolves, lastAck)
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/fleet"
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
@@ -191,6 +192,51 @@ func TestScheduleAndQueueOverHTTP(t *testing.T) {
 		t.Error("queue with positional arguments should fail")
 	}
 	if err := run([]string{"schedule", "--addr", "http://127.0.0.1:1"}, io.Discard); err == nil {
+		t.Error("unreachable daemon should fail")
+	}
+}
+
+func TestAgentsOverHTTP(t *testing.T) {
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	engine, err := bifrost.NewEngine(bifrost.Config{Table: table, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Set(router.Route{
+		Service:  "svc",
+		Backends: []router.Backend{{Version: "v1", Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hub := fleet.New(fleet.Config{Table: table, HeartbeatInterval: time.Hour})
+	t.Cleanup(hub.Close)
+	srv, err := server.New(server.Config{Engine: engine, Table: table, Store: store, Fleet: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// One current agent, one lagging stale one.
+	hub.Ack("edge-1", "10.0.0.1:7080", table.Version(), 1234, false)
+	hub.Ack("edge-2", "10.0.0.2:7080", 0, 7, true)
+
+	var out strings.Builder
+	if err := run([]string{"agents", "--addr", ts.URL}, &out); err != nil {
+		t.Fatalf("agents: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"routing snapshot version 1, 2 agents", "edge-1", "edge-2", "1234", "stale"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("agents output missing %q:\n%s", want, got)
+		}
+	}
+
+	if err := run([]string{"agents", "extra"}, io.Discard); err == nil {
+		t.Error("agents with positional arguments should fail")
+	}
+	if err := run([]string{"agents", "--addr", "http://127.0.0.1:1"}, io.Discard); err == nil {
 		t.Error("unreachable daemon should fail")
 	}
 }

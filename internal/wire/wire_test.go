@@ -209,3 +209,40 @@ func TestClientBuffersAndFlushes(t *testing.T) {
 		t.Fatalf("errors = %d", c.Errors())
 	}
 }
+
+// TestClientCloseFlushesTail is the regression test for short-lived
+// emitters: telemetry still below the batch threshold must ship on
+// Close, not silently drop with the process.
+func TestClientCloseFlushesTail(t *testing.T) {
+	posts := 0
+	srv := newStubServer(t, func() { posts++ })
+	defer srv.Close()
+
+	c := NewClient(srv.URL, srv.Client(), 100) // threshold never reached
+	c.RecordMetric(sampleBatch()[0])
+	c.RecordSpan(spanBatch()[0])
+	if posts != 0 {
+		t.Fatal("flushed before Close")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if posts != 2 { // one metrics frame + one spans frame
+		t.Fatalf("posts = %d after Close, want 2", posts)
+	}
+	// Close with nothing buffered is a no-op, and a closed client still
+	// accepts and ships later telemetry.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if posts != 2 {
+		t.Fatalf("posts = %d after empty Close", posts)
+	}
+	c.RecordMetric(sampleBatch()[1])
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if posts != 3 {
+		t.Fatalf("posts = %d after reuse, want 3", posts)
+	}
+}
