@@ -22,6 +22,10 @@
 //	--telemetry-batch 256            batch size of the binary telemetry
 //	                                 client posting to the control plane;
 //	                                 0 disables telemetry
+//	--token ""                       bearer token for a control plane
+//	                                 running with --auth-tokens; defaults
+//	                                 to the CONTEXP_TOKEN environment
+//	                                 variable
 //
 // The agent fails static: when the control plane is unreachable it
 // serves the last-applied routing snapshot indefinitely, surfaces
@@ -82,6 +86,7 @@ type options struct {
 	lease      time.Duration
 	proxies    proxyList
 	telemBatch int
+	token      string
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -97,6 +102,8 @@ func parseFlags(args []string) (*options, error) {
 		"mount a reverse proxy (repeatable): service=version@url[,version@url...]")
 	fs.IntVar(&opt.telemBatch, "telemetry-batch", 256,
 		"binary telemetry batch size; 0 disables the telemetry client")
+	fs.StringVar(&opt.token, "token", os.Getenv("CONTEXP_TOKEN"),
+		"bearer token for a control plane running with --auth-tokens (env CONTEXP_TOKEN)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -148,12 +155,14 @@ func run(args []string) error {
 		AdvertiseAddr:     ln.Addr().String(),
 		HeartbeatInterval: opt.heartbeat,
 		LeaseTTL:          opt.lease,
+		Token:             opt.token,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("agent: "+format+"\n", args...)
 		},
 	}
 	if opt.telemBatch > 0 {
 		cfg.Telemetry = wire.NewClient(cfg.ControlPlane, nil, opt.telemBatch)
+		cfg.Telemetry.SetToken(opt.token)
 	}
 	a, err := agent.New(cfg)
 	if err != nil {

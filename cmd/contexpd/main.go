@@ -17,6 +17,20 @@
 //	                         0 disables the topology pipeline
 //	--fleet-heartbeat 5s     heartbeat interval of the agent watch
 //	                         streams (see cmd/contexp-agent)
+//	--auth-tokens ""         comma-separated tenant=token pairs; when
+//	                         set, every /v1/* request must present one
+//	                         of the tokens as a bearer token and runs
+//	                         under that tenant's namespace. Empty keeps
+//	                         the API open (single default tenant), the
+//	                         pre-tenancy and --demo posture
+//	--rate-limit 0           per-tenant request budget (requests/second
+//	                         against /v1/*); 0 disables throttling
+//	--rate-burst 0           per-tenant burst on top of --rate-limit
+//	                         (default: one second's worth)
+//	--metrics-retention 24h  evict metric series idle longer than this;
+//	                         0 keeps every series forever
+//	--http-log               log one structured line per API request
+//	                         (method, path, status, tenant, request ID)
 //	--demo                   boot the simulated shop and drive traffic
 //	--demo-rps 25            demo request rate
 //	--demo-latency-scale 0.1 demo latency compression factor
@@ -72,6 +86,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -84,6 +99,7 @@ import (
 	"contexp/internal/router"
 	"contexp/internal/scenario"
 	"contexp/internal/server"
+	"contexp/internal/tenancy"
 	"contexp/internal/tracing"
 )
 
@@ -95,6 +111,11 @@ type options struct {
 	capacity       float64
 	traceBuffer    int
 	fleetHeartbeat time.Duration
+	authTokens     string
+	rateLimit      float64
+	rateBurst      int
+	retention      time.Duration
+	httpLog        bool
 	demo           bool
 	demoRPS        float64
 	demoScale      float64
@@ -121,6 +142,16 @@ func parseFlags(args []string) (*options, error) {
 		"span cap of the live trace collector feeding topology checks; 0 disables live tracing")
 	fs.DurationVar(&opt.fleetHeartbeat, "fleet-heartbeat", 5*time.Second,
 		"heartbeat interval of the agent watch streams (/v1/routing/watch)")
+	fs.StringVar(&opt.authTokens, "auth-tokens", "",
+		"comma-separated tenant=token pairs; non-empty requires a bearer token on every /v1/* request")
+	fs.Float64Var(&opt.rateLimit, "rate-limit", 0,
+		"per-tenant API request budget in requests/second; 0 disables throttling")
+	fs.IntVar(&opt.rateBurst, "rate-burst", 0,
+		"per-tenant burst above --rate-limit (default: one second's worth)")
+	fs.DurationVar(&opt.retention, "metrics-retention", 24*time.Hour,
+		"evict metric series idle longer than this; 0 keeps every series forever")
+	fs.BoolVar(&opt.httpLog, "http-log", false,
+		"log one structured line per API request")
 	fs.BoolVar(&opt.demo, "demo", false,
 		"boot the simulated shop behind routing proxies and drive traffic")
 	fs.Float64Var(&opt.demoRPS, "demo-rps", 25, "demo request rate (requests/second)")
@@ -156,6 +187,15 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if opt.fleetHeartbeat <= 0 {
 		return nil, errors.New("--fleet-heartbeat must be positive")
+	}
+	if opt.rateLimit < 0 {
+		return nil, errors.New("--rate-limit must be >= 0")
+	}
+	if opt.rateBurst < 0 {
+		return nil, errors.New("--rate-burst must be >= 0")
+	}
+	if opt.retention < 0 {
+		return nil, errors.New("--metrics-retention must be >= 0")
 	}
 	if opt.demoFaults != "" && !opt.demo {
 		return nil, errors.New("--demo-faults requires --demo")
@@ -203,6 +243,33 @@ func run(args []string) error {
 
 	table := router.NewTable()
 	store := metrics.NewStore(0)
+
+	// Tenancy plane: token → tenant resolution and per-tenant request
+	// budgets. Both are optional and independent; absent, every caller
+	// is the default tenant with no throttling.
+	var resolver *tenancy.Resolver
+	if opt.authTokens != "" {
+		resolver, err = tenancy.ParseTokens(opt.authTokens)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("auth: %d tenant(s) configured: %v\n", len(resolver.Tenants()), resolver.Tenants())
+	}
+	var limiter *tenancy.Limiter
+	if opt.rateLimit > 0 {
+		limiter = tenancy.NewLimiter(opt.rateLimit, opt.rateBurst)
+	}
+
+	// Durable windowed metrics: reload the rollup tiers saved by the
+	// previous process, then periodically persist them and evict idle
+	// series (the maintenance loop below).
+	rollupPath := ""
+	if opt.dataDir != "" {
+		rollupPath = filepath.Join(opt.dataDir, "metrics-rollups.json")
+		if err := store.LoadSnapshot(rollupPath); err != nil {
+			fmt.Printf("metrics: ignoring rollup snapshot: %v\n", err)
+		}
+	}
 
 	// Live topology pipeline: a bounded span collector plus the monitor
 	// folding settled traces into per-run interaction graphs. Disabled
@@ -296,16 +363,60 @@ func run(args []string) error {
 	hub := fleet.New(fleet.Config{Table: table, HeartbeatInterval: opt.fleetHeartbeat})
 	defer hub.Close()
 
-	srv, err := server.New(server.Config{
+	srvCfg := server.Config{
 		Engine: engine, Table: table, Store: store, Journal: jnl, Scheduler: sched,
 		Traces: collector, Health: monitor, Fleet: hub,
-	})
+		Auth: resolver, RateLimit: limiter,
+	}
+	if opt.httpLog {
+		srvCfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	srv, err := server.New(srvCfg)
 	if err != nil {
 		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Maintenance loop: bound store memory by evicting idle series and
+	// keep the on-disk rollup snapshot fresh. Final snapshot on
+	// shutdown, so a clean restart loses at most nothing.
+	if opt.retention > 0 || rollupPath != "" {
+		maintDone := make(chan struct{})
+		go func() {
+			defer close(maintDone)
+			ticker := time.NewTicker(time.Minute)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if opt.retention > 0 {
+						if n := store.Maintain(time.Now(), opt.retention); n > 0 {
+							fmt.Printf("metrics: evicted %d idle series\n", n)
+						}
+					}
+					if rollupPath != "" {
+						if err := store.SaveSnapshot(rollupPath, time.Now()); err != nil {
+							fmt.Printf("metrics: saving rollup snapshot: %v\n", err)
+						}
+					}
+				}
+			}
+		}()
+		defer func() {
+			<-maintDone
+			if rollupPath != "" {
+				if err := store.SaveSnapshot(rollupPath, time.Now()); err != nil {
+					fmt.Printf("metrics: final rollup snapshot: %v\n", err)
+				}
+			}
+		}()
+	}
 
 	// Bind the listener before the demo boots: with --demo-wire the shop
 	// posts its telemetry to the daemon's own ingestion endpoints, so the

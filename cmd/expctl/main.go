@@ -11,6 +11,13 @@
 //	expctl schedule [--addr URL]     # live schedule: running, queue, Gantt
 //	expctl queue [--addr URL]        # queued submissions only
 //	expctl agents [--addr URL]       # edge-agent fleet: applied versions, lag
+//	expctl tenants [--addr URL]      # per-tenant usage: runs, series, budget
+//
+// Daemon-facing subcommands share three flags: --addr (base URL),
+// --token (bearer token for a daemon running with --auth-tokens;
+// defaults to the CONTEXP_TOKEN environment variable), and --tenant
+// (filter listings by tenant — meaningful against an auth-free daemon,
+// where the caller sees every tenant's runs).
 //
 // The runs and events commands read the same durable state the daemon
 // recovers from its journal, so a run's pre-crash history is readable
@@ -39,7 +46,7 @@ func main() {
 	}
 }
 
-const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl <runs|schedule|queue|agents> [--addr URL] | expctl <events|health> <run> [--addr URL]"
+const usage = "usage: expctl <validate|show|fmt> <file.exp> | expctl <runs|schedule|queue|agents|tenants> [--addr URL] [--token T] | expctl <events|health> <run> [--addr URL] [--token T]"
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
@@ -52,43 +59,52 @@ func run(args []string, out io.Writer) error {
 		}
 		return runFile(cmd, args[1], out)
 	case "runs":
-		addr, rest, err := parseHTTPFlags("runs", args[1:])
+		c, rest, err := parseHTTPFlags("runs", args[1:])
 		if err != nil {
 			return err
 		}
 		if len(rest) > 0 {
 			return fmt.Errorf("runs takes no arguments")
 		}
-		return listRuns(addr, out)
+		return listRuns(c, out)
 	case "events":
-		addr, rest, err := parseHTTPFlags("events", args[1:])
+		c, rest, err := parseHTTPFlags("events", args[1:])
 		if err != nil {
 			return err
 		}
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: expctl events <run> [--addr URL]")
 		}
-		return showEvents(addr, rest[0], out)
+		return showEvents(c, rest[0], out)
 	case "health":
-		addr, rest, err := parseHTTPFlags("health", args[1:])
+		c, rest, err := parseHTTPFlags("health", args[1:])
 		if err != nil {
 			return err
 		}
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: expctl health <run> [--addr URL]")
 		}
-		return showHealth(addr, rest[0], out)
+		return showHealth(c, rest[0], out)
 	case "agents":
-		addr, rest, err := parseHTTPFlags("agents", args[1:])
+		c, rest, err := parseHTTPFlags("agents", args[1:])
 		if err != nil {
 			return err
 		}
 		if len(rest) > 0 {
 			return fmt.Errorf("agents takes no arguments")
 		}
-		return listAgents(addr, out)
+		return listAgents(c, out)
+	case "tenants":
+		c, rest, err := parseHTTPFlags("tenants", args[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) > 0 {
+			return fmt.Errorf("tenants takes no arguments")
+		}
+		return listTenants(c, out)
 	case "schedule", "queue":
-		addr, rest, err := parseHTTPFlags(cmd, args[1:])
+		c, rest, err := parseHTTPFlags(cmd, args[1:])
 		if err != nil {
 			return err
 		}
@@ -96,9 +112,9 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s takes no arguments", cmd)
 		}
 		if cmd == "queue" {
-			return showQueue(addr, out)
+			return showQueue(c, out)
 		}
-		return showSchedule(addr, out)
+		return showSchedule(c, out)
 	default:
 		return fmt.Errorf("unknown command %q (%s)", cmd, usage)
 	}
@@ -124,60 +140,104 @@ func runFile(cmd, path string, out io.Writer) error {
 	return nil
 }
 
-// parseHTTPFlags handles the flags shared by the daemon-facing
-// subcommands. Flags may come before or after positional arguments.
-func parseHTTPFlags(cmd string, args []string) (addr string, rest []string, err error) {
-	fs := flag.NewFlagSet("expctl "+cmd, flag.ContinueOnError)
-	fs.StringVar(&addr, "addr", "http://localhost:8080", "contexpd base URL")
-	// Split positionals out so "expctl events myrun --addr URL" works,
-	// in both the space-separated and --addr=URL forms.
-	var flags []string
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		if a == "--addr" || a == "-addr" {
-			flags = append(flags, args[i:min(i+2, len(args))]...)
-			i++
-			continue
-		}
-		if strings.HasPrefix(a, "--addr=") || strings.HasPrefix(a, "-addr=") {
-			flags = append(flags, a)
-			continue
-		}
-		rest = append(rest, a)
-	}
-	if err := fs.Parse(flags); err != nil {
-		return "", nil, err
-	}
-	return addr, rest, nil
+// apiClient carries the daemon connection settings shared by all
+// HTTP-facing subcommands.
+type apiClient struct {
+	addr   string
+	token  string
+	tenant string
 }
 
-// getJSON fetches one API resource into v.
-func getJSON(base, path string, v any) error {
-	u, err := url.JoinPath(base, path)
+// parseHTTPFlags handles the flags shared by the daemon-facing
+// subcommands. Flags may come before or after positional arguments.
+func parseHTTPFlags(cmd string, args []string) (*apiClient, []string, error) {
+	fs := flag.NewFlagSet("expctl "+cmd, flag.ContinueOnError)
+	c := &apiClient{}
+	fs.StringVar(&c.addr, "addr", "http://localhost:8080", "contexpd base URL")
+	fs.StringVar(&c.token, "token", os.Getenv("CONTEXP_TOKEN"),
+		"bearer token for a daemon running with --auth-tokens (env CONTEXP_TOKEN)")
+	fs.StringVar(&c.tenant, "tenant", "",
+		"filter listings by tenant (against an auth-free daemon)")
+	// Split positionals out so "expctl events myrun --addr URL" works,
+	// in both the space-separated and --addr=URL forms.
+	var flags, rest []string
+	valueFlags := []string{"addr", "token", "tenant"}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		matched := false
+		for _, name := range valueFlags {
+			switch {
+			case a == "--"+name || a == "-"+name:
+				flags = append(flags, args[i:min(i+2, len(args))]...)
+				i++
+				matched = true
+			case strings.HasPrefix(a, "--"+name+"=") || strings.HasPrefix(a, "-"+name+"="):
+				flags = append(flags, a)
+				matched = true
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			rest = append(rest, a)
+		}
+	}
+	if err := fs.Parse(flags); err != nil {
+		return nil, nil, err
+	}
+	return c, rest, nil
+}
+
+// get issues an authenticated GET against the daemon. path may carry a
+// query string, so it is appended verbatim, not URL-joined.
+func (c *apiClient) get(path string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, strings.TrimRight(c.addr, "/")+path, nil)
 	if err != nil {
-		return fmt.Errorf("bad --addr: %w", err)
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	client := &http.Client{Timeout: 10 * time.Second}
-	resp, err := client.Get(u)
+	return client.Do(req)
+}
+
+// getJSON fetches one API resource into v, surfacing the API's typed
+// error envelope (code + message) on non-200s.
+func (c *apiClient) getJSON(path string, v any) error {
+	resp, err := c.get(path)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var apiErr struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, apiErr.Error)
-		}
-		return fmt.Errorf("%s: %s", u, resp.Status)
+		return apiError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// apiError renders a non-200 response, preferring the typed envelope.
+func apiError(resp *http.Response) error {
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error.Message != "" {
+		if envelope.Error.Code != "" {
+			return fmt.Errorf("%s [%s]: %s", resp.Status, envelope.Error.Code, envelope.Error.Message)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, envelope.Error.Message)
+	}
+	return fmt.Errorf("%s: %s", resp.Request.URL, resp.Status)
 }
 
 // runView mirrors the server's RunSummary.
 type runView struct {
 	Name      string `json:"name"`
+	Tenant    string `json:"tenant"`
 	Service   string `json:"service"`
 	Baseline  string `json:"baseline"`
 	Candidate string `json:"candidate"`
@@ -197,25 +257,76 @@ type eventView struct {
 	Detail  string    `json:"detail"`
 }
 
-func listRuns(addr string, out io.Writer) error {
-	var resp struct {
-		Runs []runView `json:"runs"`
+// listRuns pages through GET /v1/runs ({items, nextCursor}) until the
+// listing is exhausted.
+func listRuns(c *apiClient, out io.Writer) error {
+	base := "/v1/runs?limit=100"
+	if c.tenant != "" {
+		base += "&tenant=" + url.QueryEscape(c.tenant)
 	}
-	if err := getJSON(addr, "/v1/runs", &resp); err != nil {
-		return err
+	var runs []runView
+	cursor := ""
+	for {
+		path := base
+		if cursor != "" {
+			path += "&cursor=" + url.QueryEscape(cursor)
+		}
+		var resp struct {
+			Items      []runView `json:"items"`
+			NextCursor string    `json:"nextCursor"`
+		}
+		if err := c.getJSON(path, &resp); err != nil {
+			return err
+		}
+		runs = append(runs, resp.Items...)
+		if resp.NextCursor == "" {
+			break
+		}
+		cursor = resp.NextCursor
 	}
-	if len(resp.Runs) == 0 {
+	if len(runs) == 0 {
 		fmt.Fprintln(out, "no runs")
 		return nil
 	}
-	fmt.Fprintf(out, "%-28s %-12s %-14s %-20s %7s\n", "NAME", "STATUS", "PHASE", "SERVICE", "EVENTS")
-	for _, r := range resp.Runs {
+	fmt.Fprintf(out, "%-28s %-10s %-12s %-14s %-20s %7s\n", "NAME", "TENANT", "STATUS", "PHASE", "SERVICE", "EVENTS")
+	for _, r := range runs {
 		name := r.Name
 		if r.Recovered {
 			name += " (recovered)"
 		}
-		fmt.Fprintf(out, "%-28s %-12s %-14s %-20s %7d\n",
-			name, r.Status, r.Phase, fmt.Sprintf("%s %s->%s", r.Service, r.Baseline, r.Candidate), r.Events)
+		tenant := r.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		fmt.Fprintf(out, "%-28s %-10s %-12s %-14s %-20s %7d\n",
+			name, tenant, r.Status, r.Phase, fmt.Sprintf("%s %s->%s", r.Service, r.Baseline, r.Candidate), r.Events)
+	}
+	return nil
+}
+
+// listTenants prints per-tenant usage from GET /v1/admin/tenants.
+func listTenants(c *apiClient, out io.Writer) error {
+	var resp struct {
+		Items []struct {
+			Name      string `json:"name"`
+			Runs      int    `json:"runs"`
+			LiveRuns  int    `json:"liveRuns"`
+			Series    int    `json:"series"`
+			Requests  uint64 `json:"requests"`
+			Throttled uint64 `json:"throttled"`
+		} `json:"items"`
+	}
+	if err := c.getJSON("/v1/admin/tenants", &resp); err != nil {
+		return err
+	}
+	if len(resp.Items) == 0 {
+		fmt.Fprintln(out, "no tenants")
+		return nil
+	}
+	fmt.Fprintf(out, "%-16s %6s %6s %8s %10s %10s\n", "TENANT", "RUNS", "LIVE", "SERIES", "REQUESTS", "THROTTLED")
+	for _, t := range resp.Items {
+		fmt.Fprintf(out, "%-16s %6d %6d %8d %10d %10d\n",
+			t.Name, t.Runs, t.LiveRuns, t.Series, t.Requests, t.Throttled)
 	}
 	return nil
 }
@@ -252,9 +363,9 @@ type queueView struct {
 	Recovered    bool      `json:"recovered"`
 }
 
-func getSchedule(addr string) (*scheduleView, error) {
+func getSchedule(c *apiClient) (*scheduleView, error) {
 	var view scheduleView
-	if err := getJSON(addr, "/v1/schedule", &view); err != nil {
+	if err := c.getJSON("/v1/schedule", &view); err != nil {
 		return nil, err
 	}
 	return &view, nil
@@ -282,8 +393,8 @@ func printQueue(entries []queueView, out io.Writer) {
 
 // showSchedule prints the live schedule: running runs, the queue, and
 // the optimizer's ASCII Gantt chart.
-func showSchedule(addr string, out io.Writer) error {
-	view, err := getSchedule(addr)
+func showSchedule(c *apiClient, out io.Writer) error {
+	view, err := getSchedule(c)
 	if err != nil {
 		return err
 	}
@@ -301,12 +412,7 @@ func showSchedule(addr string, out io.Writer) error {
 	printQueue(view.Queue, out)
 
 	// The Gantt chart comes pre-rendered from the daemon.
-	u, err := url.JoinPath(addr, "/v1/schedule")
-	if err != nil {
-		return err
-	}
-	client := &http.Client{Timeout: 10 * time.Second}
-	resp, err := client.Get(u + "?format=gantt")
+	resp, err := c.get("/v1/schedule?format=gantt")
 	if err != nil {
 		return err
 	}
@@ -323,8 +429,8 @@ func showSchedule(addr string, out io.Writer) error {
 }
 
 // showQueue prints only the queued submissions.
-func showQueue(addr string, out io.Writer) error {
-	view, err := getSchedule(addr)
+func showQueue(c *apiClient, out io.Writer) error {
+	view, err := getSchedule(c)
 	if err != nil {
 		return err
 	}
@@ -348,12 +454,12 @@ type agentView struct {
 // listAgents prints the edge-agent fleet: who is connected, which
 // routing snapshot version each agent has applied, and how far behind
 // the control plane's published version it is.
-func listAgents(addr string, out io.Writer) error {
+func listAgents(c *apiClient, out io.Writer) error {
 	var resp struct {
 		CurrentVersion uint64      `json:"currentVersion"`
-		Agents         []agentView `json:"agents"`
+		Agents         []agentView `json:"items"`
 	}
-	if err := getJSON(addr, "/v1/agents", &resp); err != nil {
+	if err := c.getJSON("/v1/agents", &resp); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "routing snapshot version %d, %d agents\n", resp.CurrentVersion, len(resp.Agents))
@@ -384,7 +490,7 @@ func listAgents(addr string, out io.Writer) error {
 
 // showHealth prints a run's live topology assessment: the evidence
 // base, then the daemon-rendered report (diff + heuristic rankings).
-func showHealth(addr, name string, out io.Writer) error {
+func showHealth(c *apiClient, name string, out io.Writer) error {
 	var view struct {
 		Run             string `json:"run"`
 		Service         string `json:"service"`
@@ -396,7 +502,7 @@ func showHealth(addr, name string, out io.Writer) error {
 		SkippedTraces   int    `json:"skippedTraces"`
 		Report          string `json:"report"`
 	}
-	if err := getJSON(addr, "/v1/runs/"+url.PathEscape(name)+"/health", &view); err != nil {
+	if err := c.getJSON("/v1/runs/"+url.PathEscape(name)+"/health", &view); err != nil {
 		return err
 	}
 	state := "live"
@@ -411,12 +517,12 @@ func showHealth(addr, name string, out io.Writer) error {
 	return nil
 }
 
-func showEvents(addr, name string, out io.Writer) error {
+func showEvents(c *apiClient, name string, out io.Writer) error {
 	var detail struct {
 		runView
 		EventLog []eventView `json:"eventLog"`
 	}
-	if err := getJSON(addr, "/v1/runs/"+url.PathEscape(name), &detail); err != nil {
+	if err := c.getJSON("/v1/runs/"+url.PathEscape(name), &detail); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "run %q (%s) — %d events\n", detail.Name, detail.Status, len(detail.EventLog))

@@ -76,6 +76,10 @@ type Config struct {
 	// (defaults 100ms / 5s).
 	ReconnectMin time.Duration
 	ReconnectMax time.Duration
+	// Token, when set, is sent as a bearer token on every control-plane
+	// request (watch stream, heartbeats) — required against a contexpd
+	// running with --auth-tokens. Optional.
+	Token string
 	// Telemetry, when set, receives one sample per local resolve and is
 	// flushed on Close. Optional; typically a wire.Client pointed at
 	// the control plane.
@@ -221,6 +225,9 @@ func (a *Agent) watchOnce() error {
 	if err != nil {
 		return err
 	}
+	if a.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+a.cfg.Token)
+	}
 	resp, err := a.hc.Do(req)
 	if err != nil {
 		return err
@@ -320,6 +327,9 @@ func (a *Agent) sendHeartbeat(ctx context.Context) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if a.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+a.cfg.Token)
+	}
 	resp, err := a.hc.Do(req)
 	if err != nil {
 		return // heartbeats are best effort; the lease surfaces the gap

@@ -222,17 +222,20 @@ type Run struct {
 	cancelOnce sync.Once
 }
 
-// ErrServiceBusy marks a launch rejected because another live run is
-// already manipulating the same service's routing. Two concurrent
-// strategies on one service would silently overwrite each other's
-// routing table entries; callers either surface the conflict or queue
-// the strategy through a Scheduler.
+// ErrServiceBusy marks a launch rejected because another live run of
+// the same tenant is already manipulating the same service's routing.
+// Two concurrent strategies on one service would silently overwrite
+// each other's routing table entries; callers either surface the
+// conflict or queue the strategy through a Scheduler. The conflict is
+// tenant-scoped: tenants own disjoint routing namespaces, so tenant
+// A's canary never queues behind tenant B's run on a same-named
+// service.
 var ErrServiceBusy = errors.New("service is busy with another running strategy")
 
 // Launch validates the strategy, journals the launch, installs the
 // all-baseline route, and starts executing. Strategy names must be
-// unique among live runs, and at most one live run may target a given
-// service (ErrServiceBusy otherwise).
+// unique among a tenant's live runs, and at most one of a tenant's
+// live runs may target a given service (ErrServiceBusy otherwise).
 func (e *Engine) Launch(s *Strategy) (*Run, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -241,12 +244,13 @@ func (e *Engine) Launch(s *Strategy) (*Run, error) {
 		return nil, fmt.Errorf("bifrost: %s: strategy gates on topology checks but the engine has no topology assessor (enable live tracing)", s.Name)
 	}
 	e.mu.Lock()
-	if existing, ok := e.runs[s.Name]; ok && existing.Status() == StatusRunning {
+	if existing, ok := e.runs[s.RunKey()]; ok && existing.Status() == StatusRunning {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("bifrost: strategy %q is already running", s.Name)
 	}
 	for _, other := range e.runs {
-		if other.strategy.Service == s.Service && other.Status() == StatusRunning {
+		if other.strategy.Tenant == s.Tenant && other.strategy.Service == s.Service &&
+			other.Status() == StatusRunning {
 			e.mu.Unlock()
 			return nil, fmt.Errorf("bifrost: launching %q: %w: %q owns service %q",
 				s.Name, ErrServiceBusy, other.strategy.Name, s.Service)
@@ -261,13 +265,13 @@ func (e *Engine) Launch(s *Strategy) (*Run, error) {
 		cancel:   make(chan struct{}),
 	}
 	e.nextSeq++
-	e.runs[s.Name] = run
+	e.runs[s.RunKey()] = run
 	e.mu.Unlock()
 
 	// Open the run's topology assessment before any traffic shifts, so
 	// the baseline graph already grows while the first phase routes.
 	if e.cfg.Topology != nil {
-		e.cfg.Topology.Register(s.Name, s.Service, s.Baseline, s.Candidate)
+		e.cfg.Topology.Register(s.RunKey(), s.RouteService(), s.Baseline, s.Candidate)
 	}
 
 	// Write-ahead: the launch record (carrying the strategy source) and
@@ -283,7 +287,7 @@ func (e *Engine) Launch(s *Strategy) (*Run, error) {
 		run.recordWire(Event{At: e.cfg.Clock.Now(), Type: EventRunFinished,
 			Detail: "aborted; launch routing error: " + err.Error()}, "", StatusAborted)
 		e.mu.Lock()
-		delete(e.runs, s.Name)
+		delete(e.runs, s.RunKey())
 		e.mu.Unlock()
 		return nil, err
 	}
@@ -291,7 +295,8 @@ func (e *Engine) Launch(s *Strategy) (*Run, error) {
 	return run, nil
 }
 
-// Get returns the run for a strategy name.
+// Get returns the run for a (tenant-qualified) strategy name: the bare
+// name for the default tenant, "tenant/name" otherwise.
 func (e *Engine) Get(name string) (*Run, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -413,6 +418,10 @@ func (r *Run) Strategy() *Strategy { return r.strategy }
 // rather than launched in this process.
 func (r *Run) Recovered() bool { return r.recovered }
 
+// Seq is the run's launch-order position; Engine.Runs sorts by it, so
+// it doubles as a stable pagination cursor for list endpoints.
+func (r *Run) Seq() uint64 { return r.seq }
+
 // record journals the event (write-ahead), then appends it to the
 // in-memory trail.
 func (r *Run) record(ev Event) { r.recordWire(ev, "", 0) }
@@ -426,7 +435,7 @@ func (r *Run) record(ev Event) { r.recordWire(ev, "", 0) }
 func (r *Run) recordWire(ev Event, strategyDSL string, status RunStatus) {
 	e := r.engine
 	if e.cfg.Journal != nil {
-		rec, err := encodeEvent(r.strategy.Name, ev, strategyDSL, status)
+		rec, err := encodeEvent(r.strategy.RunKey(), r.strategy.Tenant, ev, strategyDSL, status)
 		if err == nil {
 			err = e.cfg.Journal.Append(rec)
 		}
@@ -544,7 +553,7 @@ func (r *Run) finish(status RunStatus, detail string) {
 	// Freeze the topology assessment so post-run traffic does not dilute
 	// the record of what the experiment observed.
 	if e.cfg.Topology != nil {
-		e.cfg.Topology.Freeze(r.strategy.Name)
+		e.cfg.Topology.Freeze(r.strategy.RunKey())
 	}
 }
 
@@ -730,7 +739,7 @@ func (e *Engine) failuresToTrip(c *Check) int {
 // candidateScope resolves where the candidate's metrics live: dark
 // launches record under the "dark" variant tag.
 func (e *Engine) candidateScope(s *Strategy, p *Phase) metrics.Scope {
-	scope := metrics.Scope{Service: s.Service, Version: s.Candidate}
+	scope := metrics.Scope{Tenant: s.Tenant, Service: s.Service, Version: s.Candidate}
 	if p.Traffic.Mirror {
 		scope.Variant = "dark"
 	}
@@ -773,7 +782,7 @@ func compare(v float64, c *Check) Outcome {
 // rollouts).
 func (e *Engine) applyTraffic(s *Strategy, p *Phase, weight float64) error {
 	route := router.Route{
-		Service: s.Service,
+		Service: s.RouteService(),
 		Backends: []router.Backend{
 			{Version: s.Baseline, Weight: 1 - weight},
 			{Version: s.Candidate, Weight: weight},
@@ -796,14 +805,14 @@ func (e *Engine) applyTraffic(s *Strategy, p *Phase, weight float64) error {
 
 func (e *Engine) routeBaseline(s *Strategy) error {
 	return e.cfg.Table.Set(router.Route{
-		Service:  s.Service,
+		Service:  s.RouteService(),
 		Backends: []router.Backend{{Version: s.Baseline, Weight: 1}},
 	})
 }
 
 func (e *Engine) routeCandidate(s *Strategy) error {
 	return e.cfg.Table.Set(router.Route{
-		Service:  s.Service,
+		Service:  s.RouteService(),
 		Backends: []router.Backend{{Version: s.Candidate, Weight: 1}},
 	})
 }

@@ -76,7 +76,7 @@ func (me metricEvaluator) Evaluate(s *Strategy, p *Phase, c *Check, now time.Tim
 
 	switch c.Scope {
 	case ScopeBaseline:
-		v, err := query(metrics.Scope{Service: s.Service, Version: s.Baseline})
+		v, err := query(metrics.Scope{Tenant: s.Tenant, Service: s.Service, Version: s.Baseline})
 		if err != nil {
 			return CheckResult{Outcome: OutcomeInconclusive}
 		}
@@ -86,7 +86,7 @@ func (me metricEvaluator) Evaluate(s *Strategy, p *Phase, c *Check, now time.Tim
 		if err != nil {
 			return CheckResult{Outcome: OutcomeInconclusive}
 		}
-		base, err := query(metrics.Scope{Service: s.Service, Version: s.Baseline})
+		base, err := query(metrics.Scope{Tenant: s.Tenant, Service: s.Service, Version: s.Baseline})
 		if err != nil {
 			return CheckResult{Outcome: OutcomeInconclusive, Value: cand}
 		}
@@ -124,7 +124,7 @@ func (te topologyEvaluator) Evaluate(s *Strategy, p *Phase, c *Check, now time.T
 	if topo == nil {
 		return CheckResult{Outcome: OutcomeInconclusive, Detail: "no topology assessor configured"}
 	}
-	v, err := topo.Verdict(s.Name, c.Heuristic)
+	v, err := topo.Verdict(s.RunKey(), c.Heuristic)
 	if err != nil {
 		return CheckResult{Outcome: OutcomeInconclusive, Detail: err.Error()}
 	}

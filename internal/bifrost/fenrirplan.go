@@ -8,6 +8,7 @@ import (
 
 	"contexp/internal/expmodel"
 	"contexp/internal/fenrir"
+	"contexp/internal/tenancy"
 	"contexp/internal/traffic"
 )
 
@@ -70,9 +71,16 @@ func strategyGroups(s *Strategy) []expmodel.UserGroup {
 }
 
 // conflictGroups is the full conflict footprint: the service-ownership
-// group plus the strategy's explicit user groups.
+// group plus the strategy's explicit user groups. Both are
+// tenant-qualified — tenants route (and segment) disjoint user
+// populations, so tenant A's "beta" group never collides with tenant
+// B's, and same-named services across tenants enact concurrently.
 func conflictGroups(s *Strategy) []expmodel.UserGroup {
-	return append([]expmodel.UserGroup{serviceGroup(s.Service)}, strategyGroups(s)...)
+	out := []expmodel.UserGroup{serviceGroup(s.RouteService())}
+	for _, g := range strategyGroups(s) {
+		out = append(out, expmodel.UserGroup(tenancy.Qualify(s.Tenant, string(g))))
+	}
+	return out
 }
 
 // peakShare estimates the peak share of users exposed to the candidate

@@ -20,6 +20,7 @@ import (
 	"contexp/internal/expmodel"
 	"contexp/internal/health"
 	"contexp/internal/metrics"
+	"contexp/internal/tenancy"
 )
 
 // Strategy is a multi-phase live testing strategy for one service: the
@@ -27,6 +28,13 @@ import (
 type Strategy struct {
 	// Name identifies the strategy (and its Run) within the engine.
 	Name string
+	// Tenant is the canonical tenant that owns the strategy ("" for the
+	// default tenant). It is not part of the DSL: the control plane
+	// stamps it from the authenticated principal before submission, so
+	// a request body can never claim another tenant's namespace. All
+	// conflict detection (run names, service ownership, scheduler
+	// capacity) and metric series namespacing scope by it.
+	Tenant string
 	// Service is the service under experimentation.
 	Service string
 	// Baseline is the stable version users fall back to.
@@ -37,6 +45,16 @@ type Strategy struct {
 	// first phase is the initial state.
 	Phases []Phase
 }
+
+// RunKey is the engine-wide unique key of the strategy's run: the
+// tenant-qualified name. The default tenant's key is the bare name,
+// so pre-tenancy journals and single-tenant deployments are unchanged.
+func (s *Strategy) RunKey() string { return tenancy.Qualify(s.Tenant, s.Name) }
+
+// RouteService is the routing-table key the strategy manipulates: the
+// tenant-qualified service name. Two tenants experimenting on services
+// that happen to share a name own disjoint routing entries.
+func (s *Strategy) RouteService() string { return tenancy.Qualify(s.Tenant, s.Service) }
 
 // Phase is one state of the strategy's state machine: a user-to-version
 // assignment plus the checks guarding it.

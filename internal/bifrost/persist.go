@@ -15,8 +15,14 @@ import (
 
 // wireRecord is the journaled form of one run event.
 type wireRecord struct {
-	// Run names the run the event belongs to.
+	// Run names the run the event belongs to. The name is
+	// tenant-qualified (tenancy.Qualify), so pre-tenancy journals — and
+	// all default-tenant records — carry the bare strategy name.
 	Run string `json:"run"`
+	// Tenant is the canonical owning tenant; omitted for the default
+	// tenant, which keeps default-tenant records byte-identical to
+	// pre-tenancy ones.
+	Tenant string `json:"tenant,omitempty"`
 	// V is the record format version.
 	V  int       `json:"v"`
 	At time.Time `json:"at"`
@@ -39,9 +45,10 @@ type wireRecord struct {
 const wireVersion = 1
 
 // encodeEvent marshals one event into its journal record.
-func encodeEvent(run string, ev Event, strategyDSL string, status RunStatus) ([]byte, error) {
+func encodeEvent(run, tenant string, ev Event, strategyDSL string, status RunStatus) ([]byte, error) {
 	return json.Marshal(wireRecord{
 		Run:      run,
+		Tenant:   tenant,
 		V:        wireVersion,
 		At:       ev.At,
 		Type:     ev.Type,

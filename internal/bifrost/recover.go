@@ -70,6 +70,7 @@ func (rep *RecoveryReport) String() string {
 func (e *Engine) Recover(j journal.Journal) (*RecoveryReport, error) {
 	type runLog struct {
 		name       string
+		tenant     string
 		dsl        string
 		launched   bool
 		events     []Event
@@ -105,6 +106,7 @@ func (e *Engine) Recover(j journal.Journal) (*RecoveryReport, error) {
 		if wr.Type == EventRunLaunched {
 			rl.launched = true
 			rl.dsl = wr.Strategy
+			rl.tenant = wr.Tenant
 		}
 		if wr.Type == EventRunFinished {
 			rl.status = wr.Status
@@ -134,6 +136,10 @@ func (e *Engine) Recover(j journal.Journal) (*RecoveryReport, error) {
 			report(0, fmt.Sprintf("skipped: strategy source unparseable: %v", err))
 			continue
 		}
+		// The DSL never names a tenant; re-stamp it from the journal
+		// envelope so recovered runs keep their owner (and their
+		// tenant-qualified routing and metric scopes).
+		s.Tenant = rl.tenant
 
 		run := &Run{
 			strategy:  s,
@@ -145,7 +151,7 @@ func (e *Engine) Recover(j journal.Journal) (*RecoveryReport, error) {
 			cancel:    make(chan struct{}),
 		}
 		e.mu.Lock()
-		if _, exists := e.runs[s.Name]; exists {
+		if _, exists := e.runs[s.RunKey()]; exists {
 			e.mu.Unlock()
 			rep.Skipped++
 			report(0, "skipped: a run with this name already exists")
@@ -153,16 +159,16 @@ func (e *Engine) Recover(j journal.Journal) (*RecoveryReport, error) {
 		}
 		run.seq = e.nextSeq
 		e.nextSeq++
-		e.runs[s.Name] = run
+		e.runs[s.RunKey()] = run
 		e.mu.Unlock()
 
 		// Re-open the topology assessment: traces died with the old
 		// process, so resumed runs start fresh graphs; terminal runs get
 		// a frozen (empty) assessment so their health surface answers.
 		if e.cfg.Topology != nil {
-			e.cfg.Topology.Register(s.Name, s.Service, s.Baseline, s.Candidate)
+			e.cfg.Topology.Register(s.RunKey(), s.RouteService(), s.Baseline, s.Candidate)
 			if rl.status != 0 {
-				e.cfg.Topology.Freeze(s.Name)
+				e.cfg.Topology.Freeze(s.RunKey())
 			}
 		}
 
@@ -395,7 +401,7 @@ func CompactJournal(j journal.Journal) error {
 // journal: a run-queued record with no later launch or dequeue for the
 // same name.
 type PendingSubmission struct {
-	// Name is the strategy (and future run) name.
+	// Name is the tenant-qualified strategy (and future run) name.
 	Name string
 	// Strategy is the reparsed strategy.
 	Strategy *Strategy
@@ -411,6 +417,7 @@ type PendingSubmission struct {
 func RecoverQueue(j journal.Journal) ([]PendingSubmission, []error) {
 	type entry struct {
 		dsl      string
+		tenant   string
 		queuedAt time.Time
 		pending  bool
 	}
@@ -436,7 +443,7 @@ func RecoverQueue(j journal.Journal) ([]PendingSubmission, []error) {
 				}
 			}
 			order = append(order, wr.Run)
-			*byName[wr.Run] = entry{dsl: wr.Strategy, queuedAt: wr.At, pending: true}
+			*byName[wr.Run] = entry{dsl: wr.Strategy, tenant: wr.Tenant, queuedAt: wr.At, pending: true}
 		case EventRunLaunched, EventRunDequeued:
 			if e := byName[wr.Run]; e != nil {
 				e.pending = false
@@ -462,6 +469,7 @@ func RecoverQueue(j journal.Journal) ([]PendingSubmission, []error) {
 			errs = append(errs, fmt.Errorf("bifrost: queued strategy %q unrecoverable: %w", name, err))
 			continue
 		}
+		s.Tenant = e.tenant
 		out = append(out, PendingSubmission{Name: name, Strategy: s, QueuedAt: e.queuedAt})
 	}
 	return out, errs

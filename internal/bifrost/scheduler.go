@@ -233,11 +233,11 @@ func (s *Scheduler) Submit(strategy *Strategy) (SubmitResult, error) {
 		return SubmitResult{}, errors.New("bifrost: scheduler is closed")
 	}
 	for _, qe := range s.queue {
-		if qe.strategy.Name == strategy.Name {
+		if qe.strategy.RunKey() == strategy.RunKey() {
 			return SubmitResult{}, fmt.Errorf("bifrost: strategy %q is already queued", strategy.Name)
 		}
 	}
-	if run, ok := s.cfg.Engine.Get(strategy.Name); ok && run.Status() == StatusRunning {
+	if run, ok := s.cfg.Engine.Get(strategy.RunKey()); ok && run.Status() == StatusRunning {
 		return SubmitResult{}, fmt.Errorf("bifrost: strategy %q is already running", strategy.Name)
 	}
 
@@ -257,7 +257,7 @@ func (s *Scheduler) Submit(strategy *Strategy) (SubmitResult, error) {
 	s.queue = append(s.queue, entry)
 	s.pumpLocked()
 
-	if lr, ok := s.running[strategy.Name]; ok {
+	if lr, ok := s.running[strategy.RunKey()]; ok {
 		return SubmitResult{Run: lr.run}, nil
 	}
 	return SubmitResult{Queued: true, Entry: s.entryView(entry)}, nil
@@ -273,7 +273,7 @@ func (s *Scheduler) Restore(pending []PendingSubmission) {
 	for _, p := range pending {
 		dup := false
 		for _, qe := range s.queue {
-			if qe.strategy.Name == p.Name {
+			if qe.strategy.RunKey() == p.Name {
 				dup = true
 				break
 			}
@@ -293,13 +293,14 @@ func (s *Scheduler) Restore(pending []PendingSubmission) {
 	s.pumpLocked()
 }
 
-// Cancel withdraws a queued submission before it launches. It does not
-// touch live runs (use Run.Abort for those).
+// Cancel withdraws a queued submission before it launches, by its
+// tenant-qualified name. It does not touch live runs (use Run.Abort
+// for those).
 func (s *Scheduler) Cancel(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, qe := range s.queue {
-		if qe.strategy.Name != name {
+		if qe.strategy.RunKey() != name {
 			continue
 		}
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
@@ -312,12 +313,13 @@ func (s *Scheduler) Cancel(name string) error {
 	return fmt.Errorf("bifrost: no queued strategy named %q", name)
 }
 
-// Queued reports whether a submission with this name is waiting.
+// Queued reports whether a submission with this tenant-qualified name
+// is waiting.
 func (s *Scheduler) Queued(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, qe := range s.queue {
-		if qe.strategy.Name == name {
+		if qe.strategy.RunKey() == name {
 			return true
 		}
 	}
@@ -412,20 +414,20 @@ func (s *Scheduler) adoptRunningLocked(slot int) bool {
 			continue
 		}
 		st := run.Strategy()
-		if _, ok := s.running[st.Name]; ok {
+		if _, ok := s.running[st.RunKey()]; ok {
 			continue
 		}
 		adopted = true
-		s.running[st.Name] = &liveRun{
+		s.running[st.RunKey()] = &liveRun{
 			run:       run,
-			service:   st.Service,
+			service:   st.RouteService(),
 			groups:    conflictGroups(st),
 			share:     peakShare(st),
 			startedAt: s.now(),
 			start:     slot,
 			estEnd:    slot + s.planner.durationSlots(estimateDuration(st)),
 		}
-		name := st.Name
+		name := st.RunKey()
 		go func() {
 			<-run.Done()
 			s.onRunDone(name)
@@ -435,14 +437,23 @@ func (s *Scheduler) adoptRunningLocked(slot int) bool {
 }
 
 // blockReasonLocked explains why an entry cannot launch right now
-// ("" when it can). Caller holds s.mu.
+// ("" when it can). Concurrency and candidate-traffic capacity are
+// budgeted per tenant — each tenant exposes its own user population,
+// so one tenant's experiments must not starve another's — while the
+// group-footprint conflicts below are already tenant-disjoint because
+// conflictGroups qualifies every group name. Caller holds s.mu.
 func (s *Scheduler) blockReasonLocked(qe *queueEntry) string {
-	if len(s.running) >= s.cfg.MaxConcurrent {
-		return fmt.Sprintf("max-concurrent reached (%d)", s.cfg.MaxConcurrent)
-	}
-	var used float64
+	tenant := qe.strategy.Tenant
+	live, used := 0, 0.0
 	for _, lr := range s.running {
+		if lr.run.strategy.Tenant != tenant {
+			continue
+		}
+		live++
 		used += lr.share
+	}
+	if live >= s.cfg.MaxConcurrent {
+		return fmt.Sprintf("max-concurrent reached (%d)", s.cfg.MaxConcurrent)
 	}
 	if used+qe.share > s.cfg.Capacity+1e-9 {
 		return fmt.Sprintf("capacity: %.0f%% in use, needs %.0f%%, ceiling %.0f%%",
@@ -478,18 +489,18 @@ func (s *Scheduler) launchLocked(qe *queueEntry, now time.Time, slot int) error 
 	}
 	lr := &liveRun{
 		run:       run,
-		service:   qe.strategy.Service,
+		service:   qe.strategy.RouteService(),
 		groups:    qe.groups,
 		share:     qe.share,
 		startedAt: now,
 		start:     slot,
 		estEnd:    slot + qe.slots,
 	}
-	s.running[qe.strategy.Name] = lr
+	s.running[qe.strategy.RunKey()] = lr
 	s.launched.Add(1)
 	go func() {
 		<-run.Done()
-		s.onRunDone(qe.strategy.Name)
+		s.onRunDone(qe.strategy.RunKey())
 	}()
 	return nil
 }
@@ -517,7 +528,7 @@ func (s *Scheduler) replanLocked(slot int) {
 	pending := make([]planPending, 0, len(s.queue))
 	for _, qe := range s.queue {
 		pending = append(pending, planPending{
-			name: qe.strategy.Name, groups: qe.groups, share: qe.share, slots: qe.slots,
+			name: qe.strategy.RunKey(), groups: qe.groups, share: qe.share, slots: qe.slots,
 		})
 	}
 	plan, err := s.planner.Replan(slot, running, pending)
@@ -537,7 +548,7 @@ func (s *Scheduler) replanLocked(slot int) {
 // run-launched records are. Caller holds s.mu.
 func (s *Scheduler) journalQueueEvent(ev Event, strategy *Strategy, dsl string) {
 	if s.cfg.Journal != nil {
-		rec, err := encodeEvent(strategy.Name, ev, dsl, 0)
+		rec, err := encodeEvent(strategy.RunKey(), strategy.Tenant, ev, dsl, 0)
 		if err == nil {
 			err = s.cfg.Journal.Append(rec)
 		}
@@ -545,7 +556,7 @@ func (s *Scheduler) journalQueueEvent(ev Event, strategy *Strategy, dsl string) 
 			s.journalErrs.Add(1)
 		}
 	}
-	s.recent = append(s.recent, QueueEvent{At: ev.At, Type: ev.Type, Name: strategy.Name, Detail: ev.Detail})
+	s.recent = append(s.recent, QueueEvent{At: ev.At, Type: ev.Type, Name: strategy.RunKey(), Detail: ev.Detail})
 	if len(s.recent) > maxRecentQueueEvents {
 		s.recent = s.recent[len(s.recent)-maxRecentQueueEvents:]
 	}
@@ -554,8 +565,11 @@ func (s *Scheduler) journalQueueEvent(ev Event, strategy *Strategy, dsl string) 
 // --- snapshots ---
 
 // QueueEntryView is the observable state of one queued submission.
+// Name is tenant-qualified; Tenant repeats the owner for display
+// (omitted for the default tenant).
 type QueueEntryView struct {
 	Name     string   `json:"name"`
+	Tenant   string   `json:"tenant,omitempty"`
 	Service  string   `json:"service"`
 	Groups   []string `json:"groups,omitempty"`
 	Share    float64  `json:"share"`
@@ -574,8 +588,10 @@ type QueueEntryView struct {
 }
 
 // ScheduledRunView is the observable state of one tracked live run.
+// Name is tenant-qualified; Tenant repeats the owner for display.
 type ScheduledRunView struct {
 	Name      string    `json:"name"`
+	Tenant    string    `json:"tenant,omitempty"`
 	Service   string    `json:"service"`
 	Groups    []string  `json:"groups,omitempty"`
 	Share     float64   `json:"share"`
@@ -603,7 +619,8 @@ type ScheduleSnapshot struct {
 // entryView renders one queue entry. Caller holds s.mu.
 func (s *Scheduler) entryView(qe *queueEntry) QueueEntryView {
 	v := QueueEntryView{
-		Name:        qe.strategy.Name,
+		Name:        qe.strategy.RunKey(),
+		Tenant:      qe.strategy.Tenant,
 		Service:     qe.strategy.Service,
 		Share:       qe.share,
 		State:       "queued",
@@ -623,7 +640,7 @@ func (s *Scheduler) entryView(qe *queueEntry) QueueEntryView {
 		}
 	}
 	if s.plan != nil {
-		if start, ok := s.plan.Starts[qe.strategy.Name]; ok {
+		if start, ok := s.plan.Starts[qe.strategy.RunKey()]; ok {
 			v.PlannedStart = s.slotTime(start)
 		}
 	}
@@ -681,7 +698,8 @@ func (s *Scheduler) Snapshot() ScheduleSnapshot {
 		}
 		snap.Running = append(snap.Running, ScheduledRunView{
 			Name:      name,
-			Service:   lr.service,
+			Tenant:    lr.run.strategy.Tenant,
+			Service:   lr.run.strategy.Service,
 			Groups:    groups,
 			Share:     lr.share,
 			StartedAt: lr.startedAt,

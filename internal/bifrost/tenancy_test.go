@@ -1,0 +1,98 @@
+package bifrost
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Tenancy threading through the engine and scheduler: run keys, service
+// conflicts, and scheduler budgets are all tenant-scoped, while the
+// default tenant keeps the exact pre-tenancy behavior.
+
+func TestLaunchServiceConflictIsTenantScoped(t *testing.T) {
+	h := newHarness(t)
+
+	a := holdStrategy("exp", "catalog", time.Hour)
+	a.Tenant = "acme"
+	b := holdStrategy("exp", "catalog", time.Hour)
+	b.Tenant = "beta"
+
+	ra, err := h.engine.Launch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same run name, same service name — different tenant. No cross-talk.
+	rb, err := h.engine.Launch(b)
+	if err != nil {
+		t.Fatalf("tenant beta blocked by tenant acme's run: %v", err)
+	}
+	if ra.Status() != StatusRunning || rb.Status() != StatusRunning {
+		t.Fatalf("both tenants' runs should be live: %v / %v", ra.Status(), rb.Status())
+	}
+
+	// Within one tenant the service conflict still holds.
+	c := holdStrategy("other", "catalog", time.Hour)
+	c.Tenant = "acme"
+	if _, err := h.engine.Launch(c); !errors.Is(err, ErrServiceBusy) {
+		t.Fatalf("same-tenant same-service launch: want ErrServiceBusy, got %v", err)
+	}
+
+	// Runs key by tenant-qualified name; bare names never reach into a
+	// tenant's namespace.
+	if _, ok := h.engine.Get("acme/exp"); !ok {
+		t.Fatal("acme/exp should resolve")
+	}
+	if _, ok := h.engine.Get("exp"); ok {
+		t.Fatal("bare name should not resolve a tenant's run")
+	}
+
+	// The routing table is tenant-namespaced too: each tenant got its
+	// own qualified service entry.
+	services := h.table.Services()
+	joined := strings.Join(services, ",")
+	if !strings.Contains(joined, "acme/catalog") || !strings.Contains(joined, "beta/catalog") {
+		t.Fatalf("routing table should hold per-tenant services, got %v", services)
+	}
+}
+
+func TestSchedulerBudgetsArePerTenant(t *testing.T) {
+	h := newHarness(t)
+	sched := h.newScheduler(t, nil, func(cfg *SchedulerConfig) {
+		cfg.MaxConcurrent = 1
+	})
+
+	a := holdStrategy("exp-a", "catalog", time.Hour)
+	a.Tenant = "acme"
+	b := holdStrategy("exp-b", "checkout", time.Hour)
+	b.Tenant = "beta"
+
+	ra, err := sched.Submit(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Queued {
+		t.Fatal("acme's first submission should launch")
+	}
+	// Tenant beta has its own max-concurrent budget: acme's live run
+	// does not consume it.
+	rb, err := sched.Submit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Queued {
+		t.Fatalf("beta should launch despite acme's live run: %+v", rb.Entry)
+	}
+
+	// acme's second submission hits acme's own ceiling and queues.
+	c := holdStrategy("exp-c", "payments", time.Hour)
+	c.Tenant = "acme"
+	rc, err := sched.Submit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Queued {
+		t.Fatal("acme's second submission should queue on its own max-concurrent budget")
+	}
+}

@@ -57,17 +57,26 @@ import (
 
 // Scope identifies the deployment a series belongs to.
 type Scope struct {
+	// Tenant is the canonical owning tenant ("" for the default
+	// tenant). The control plane stamps it from the authenticated
+	// principal at ingestion; it is never part of the telemetry wire
+	// format, so tenants cannot write into each other's series.
+	Tenant  string
 	Service string
 	Version string
 	Variant string // experiment variant tag, e.g. "baseline" or "canary"; may be empty
 }
 
-// String renders the scope as service/version[/variant].
+// String renders the scope as [tenant:]service/version[/variant].
 func (s Scope) String() string {
-	if s.Variant == "" {
-		return s.Service + "/" + s.Version
+	out := s.Service + "/" + s.Version
+	if s.Variant != "" {
+		out += "/" + s.Variant
 	}
-	return s.Service + "/" + s.Version + "/" + s.Variant
+	if s.Tenant != "" {
+		out = s.Tenant + ":" + out
+	}
+	return out
 }
 
 // Aggregation selects how a window of observations is reduced to one value.
@@ -255,12 +264,25 @@ type series struct {
 	earliestIdx int64
 	latestIdx   int64
 	hasAgg      bool
+
+	// Durable rollup tiers, fed on every write alongside the one-second
+	// buckets: minute and hour rings of count/sum/min/max aggregates
+	// (no histogram, so quantile queries beyond the 1s ring's coverage
+	// take the exact raw path). They extend windowed queries far past
+	// the 1s ring and survive restarts via Store.SaveSnapshot.
+	minute rollRing
+	hour   rollRing
+
+	// lastWrite drives idle-series eviction (Store.Maintain).
+	lastWrite time.Time
 }
 
 func newSeries(capacity int) *series {
 	return &series{
 		buf:     make([]observation, capacity),
 		buckets: make([]*aggBucket, numTimeBuckets),
+		minute:  rollRing{width: 60, slots: minuteRingSlots},
+		hour:    rollRing{width: 3600, slots: hourRingSlots},
 	}
 }
 
@@ -309,6 +331,15 @@ func (s *series) recordLocked(at time.Time, v float64) {
 		b.reset(bIdx)
 	}
 	b.add(at, v)
+
+	// Rollup tiers: two more cheap bucket adds per observation keep the
+	// minute and hour rings always-current, so downsampling needs no
+	// background fold over the 1s ring (and no cross-tier locking).
+	s.minute.add(at, v)
+	s.hour.add(at, v)
+	if at.After(s.lastWrite) {
+		s.lastWrite = at
+	}
 }
 
 // coversAgg reports whether the aggregate ring fully answers a query
@@ -373,13 +404,18 @@ func NewStore(capacity int) *Store {
 	return st
 }
 
+// seriesKey leads with the tenant so per-tenant accounting
+// (TenantSeries) can attribute every series by splitting at the first
+// NUL; the default tenant's prefix is the empty string.
 func seriesKey(metric string, scope Scope) string {
-	return metric + "\x00" + scope.Service + "\x00" + scope.Version + "\x00" + scope.Variant
+	return scope.Tenant + "\x00" + metric + "\x00" + scope.Service + "\x00" + scope.Version + "\x00" + scope.Variant
 }
 
 // appendSeriesKey builds seriesKey into dst, so batched ingestion can
 // probe the series map without materializing a key string per run.
 func appendSeriesKey(dst []byte, metric string, scope Scope) []byte {
+	dst = append(dst, scope.Tenant...)
+	dst = append(dst, 0)
 	dst = append(dst, metric...)
 	dst = append(dst, 0)
 	dst = append(dst, scope.Service...)
@@ -510,6 +546,21 @@ func (st *Store) Query(metric string, scope Scope, since time.Time, agg Aggregat
 		}
 		// Quantile over underflow-bucket values (≤ histMin, e.g. zero or
 		// negative): the sketch cannot place them, use the exact path.
+	} else if agg != AggMedian && agg != AggP95 && agg != AggP99 {
+		// Rollup tiers answer windows older than the 1s ring's coverage:
+		// minute buckets first, hour buckets beyond those. Quantiles are
+		// excluded — the rollups keep no histogram — and fall through to
+		// the exact raw path (pre-rollup semantics).
+		if s.minute.covers(since) {
+			v, err := s.minute.query(since, agg)
+			s.mu.Unlock()
+			return v, err
+		}
+		if s.hour.covers(since) {
+			v, err := s.hour.query(since, agg)
+			s.mu.Unlock()
+			return v, err
+		}
 	}
 	// Exact fallback: copy the window under the lock, aggregate (and
 	// for percentiles, sort) outside it so a large scan never blocks

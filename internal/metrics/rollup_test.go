@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The rollup tier contract: a day of 1-second traffic stays queryable
+// at minute granularity long after the raw rings have wrapped, memory
+// stays bounded, idle series age out under Maintain, and the rollups
+// survive a Save/Load round trip.
+
+func TestRollupsAnswerLongWindows(t *testing.T) {
+	st := NewStore(0)
+	scope := Scope{Service: "svc", Version: "v1"}
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+
+	// 24 hours of one sample per simulated second — far past the raw
+	// ring's few minutes of coverage.
+	const day = 24 * 60 * 60
+	for i := 0; i < day; i++ {
+		st.Record("response_time", scope, base.Add(time.Duration(i)*time.Second), 10)
+	}
+	now := base.Add(day * time.Second)
+
+	// A 12-hour window cannot come from the raw ring; the minute
+	// rollups answer it.
+	since := now.Add(-12 * time.Hour)
+	got, err := st.Query("response_time", scope, since, AggMean)
+	if err != nil {
+		t.Fatalf("12h mean: %v", err)
+	}
+	if math.Abs(got-10) > 0.01 {
+		t.Fatalf("12h mean: want 10, got %v", got)
+	}
+	cnt, err := st.Query("response_time", scope, since, AggCount)
+	if err != nil {
+		t.Fatalf("12h count: %v", err)
+	}
+	// Windows snap to minute boundaries: allow one bucket of slack.
+	if want := float64(12 * 60 * 60); math.Abs(cnt-want) > 60 {
+		t.Fatalf("12h count: want ~%v, got %v", want, cnt)
+	}
+
+	// The full day answers too (minute ring holds exactly 24h).
+	if _, err := st.Query("response_time", scope, now.Add(-23*time.Hour), AggMax); err != nil {
+		t.Fatalf("23h max: %v", err)
+	}
+}
+
+func TestRollupMemoryIsBoundedOverDays(t *testing.T) {
+	st := NewStore(0)
+	scope := Scope{Service: "svc", Version: "v1"}
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+
+	// Three days of traffic, sparse (one sample per minute) to keep the
+	// test fast. The minute ring wraps after day one; the hour ring
+	// carries the rest. Nothing grows past the fixed ring sizes.
+	const days = 3
+	for i := 0; i < days*24*60; i++ {
+		st.Record("response_time", scope, base.Add(time.Duration(i)*time.Minute), float64(i%100))
+	}
+	s := st.lookup(seriesKey("response_time", scope))
+	if s == nil {
+		t.Fatal("series missing")
+	}
+	s.mu.Lock()
+	minuteLen, hourLen := len(s.minute.buckets), len(s.hour.buckets)
+	s.mu.Unlock()
+	if minuteLen > minuteRingSlots || hourLen > hourRingSlots {
+		t.Fatalf("rings grew past their bounds: minute=%d hour=%d", minuteLen, hourLen)
+	}
+
+	// A window beyond the minute ring's 24h reach falls to the hour
+	// tier instead of failing.
+	now := base.Add(days * 24 * time.Hour)
+	if _, err := st.Query("response_time", scope, now.Add(-60*time.Hour), AggCount); err != nil {
+		t.Fatalf("60h count via hour tier: %v", err)
+	}
+}
+
+func TestMaintainEvictsIdleSeries(t *testing.T) {
+	st := NewStore(0)
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	st.Record("response_time", Scope{Tenant: "acme", Service: "svc", Version: "v1"}, base, 1)
+	st.Record("response_time", Scope{Tenant: "beta", Service: "svc", Version: "v1"}, base.Add(20*time.Hour), 1)
+
+	// Retention 24h at base+30h: acme's series (idle 30h) goes, beta's
+	// (idle 10h) stays.
+	evicted := st.Maintain(base.Add(30*time.Hour), 24*time.Hour)
+	if evicted != 1 {
+		t.Fatalf("want 1 eviction, got %d", evicted)
+	}
+	series := st.TenantSeries()
+	if series["acme"] != 0 || series["beta"] != 1 {
+		t.Fatalf("want acme evicted and beta live, got %v", series)
+	}
+
+	// idleFor <= 0 disables eviction.
+	if n := st.Maintain(base.Add(1000*time.Hour), 0); n != 0 {
+		t.Fatalf("disabled retention evicted %d series", n)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := NewStore(0)
+	scope := Scope{Tenant: "acme", Service: "svc", Version: "v1"}
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 6*60; i++ {
+		st.Record("response_time", scope, base.Add(time.Duration(i)*time.Minute), 42)
+	}
+	now := base.Add(6 * time.Hour)
+
+	path := filepath.Join(t.TempDir(), "rollups.json")
+	if err := st.SaveSnapshot(path, now); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store (a restarted daemon) answers the long window from
+	// the restored rollups even though its raw rings are empty.
+	st2 := NewStore(0)
+	if err := st2.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.Query("response_time", scope, now.Add(-5*time.Hour), AggMean)
+	if err != nil {
+		t.Fatalf("restored query: %v", err)
+	}
+	if math.Abs(got-42) > 0.01 {
+		t.Fatalf("restored mean: want 42, got %v", got)
+	}
+	if n := st2.TenantSeries()["acme"]; n != 1 {
+		t.Fatalf("restored store should hold acme's series, got %v", st2.TenantSeries())
+	}
+
+	// Restored series carry a lastWrite, so retention still ages them.
+	if n := st2.Maintain(now.Add(48*time.Hour), 24*time.Hour); n != 1 {
+		t.Fatalf("restored series should age out, evicted %d", n)
+	}
+
+	// Missing snapshot file is a clean no-op (first boot).
+	st3 := NewStore(0)
+	if err := st3.LoadSnapshot(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatalf("missing snapshot should not error: %v", err)
+	}
+}

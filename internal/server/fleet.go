@@ -72,12 +72,43 @@ func (s *Server) handleRoutingWatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleAgents lists the fleet registry.
+// handleAgents lists the fleet registry, in the same {items, nextCursor}
+// shape as GET /v1/runs. Agents sort by ID, so the cursor is simply the
+// last ID of the previous page.
 func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	q := r.URL.Query()
+	limit := defaultListLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", raw)
+			return
+		}
+		limit = min(n, maxListLimit)
+	}
+	cursor := q.Get("cursor")
+
+	agents := s.cfg.Fleet.Agents()
+	items := agents[:0:0]
+	var nextCursor string
+	for _, a := range agents {
+		if cursor != "" && a.ID <= cursor {
+			continue
+		}
+		if len(items) == limit {
+			nextCursor = items[len(items)-1].ID
+			break
+		}
+		items = append(items, a)
+	}
+	resp := map[string]any{
 		"currentVersion": s.cfg.Fleet.Version(),
-		"agents":         s.cfg.Fleet.Agents(),
-	})
+		"items":          items,
+	}
+	if nextCursor != "" {
+		resp["nextCursor"] = nextCursor
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Heartbeat is an agent's periodic self-report: which snapshot version

@@ -169,7 +169,7 @@ func TestAgentHeartbeatAndRegistry(t *testing.T) {
 	defer resp2.Body.Close()
 	var listing struct {
 		CurrentVersion uint64             `json:"currentVersion"`
-		Agents         []fleet.AgentState `json:"agents"`
+		Agents         []fleet.AgentState `json:"items"`
 	}
 	if err := json.NewDecoder(resp2.Body).Decode(&listing); err != nil {
 		t.Fatal(err)

@@ -63,7 +63,7 @@ func TestListRunsLaunchOrder(t *testing.T) {
 		t.Fatalf("list: %d: %s", code, body)
 	}
 	var resp struct {
-		Runs []RunSummary `json:"runs"`
+		Runs []RunSummary `json:"items"`
 	}
 	if err := json.Unmarshal([]byte(body), &resp); err != nil {
 		t.Fatal(err)

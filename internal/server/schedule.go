@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"contexp/internal/bifrost"
+	"contexp/internal/tenancy"
 )
 
 // This file serves the live scheduler: the queue of admitted-but-
@@ -22,6 +23,9 @@ import (
 // handleSchedule reports the scheduler snapshot. With ?format=gantt it
 // renders the placement as the ASCII chart Fenrir's offline scheduling
 // example prints (one row per experiment, bar height = traffic share).
+// When auth is on, the JSON view is scoped to the caller's entries; the
+// gantt chart stays whole-plant (it names runs by tenant-qualified key
+// only — operator-grade metadata, consistent with /v1/admin/tenants).
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "gantt" {
 		width := 72
@@ -34,7 +38,35 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write([]byte(s.cfg.Scheduler.Gantt(width)))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.cfg.Scheduler.Snapshot())
+	snap := s.cfg.Scheduler.Snapshot()
+	if s.cfg.Auth != nil {
+		snap = scopeSnapshot(snap, reqTenant(r))
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// scopeSnapshot trims a schedule snapshot to one tenant's entries.
+func scopeSnapshot(snap bifrost.ScheduleSnapshot, tenant string) bifrost.ScheduleSnapshot {
+	running := make([]bifrost.ScheduledRunView, 0, len(snap.Running))
+	for _, rv := range snap.Running {
+		if rv.Tenant == tenant {
+			running = append(running, rv)
+		}
+	}
+	queue := make([]bifrost.QueueEntryView, 0, len(snap.Queue))
+	for _, qv := range snap.Queue {
+		if qv.Tenant == tenant {
+			queue = append(queue, qv)
+		}
+	}
+	recent := make([]bifrost.QueueEvent, 0, len(snap.Recent))
+	for _, ev := range snap.Recent {
+		if owner, _ := tenancy.Split(ev.Name); owner == tenant {
+			recent = append(recent, ev)
+		}
+	}
+	snap.Running, snap.Queue, snap.Recent = running, queue, recent
+	return snap
 }
 
 // handleScheduleEvents streams schedule changes as server-sent events:
@@ -52,7 +84,11 @@ func (s *Server) handleScheduleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
+	tenant := reqTenant(r)
 	emit := func(snap bifrost.ScheduleSnapshot) {
+		if s.cfg.Auth != nil {
+			snap = scopeSnapshot(snap, tenant)
+		}
 		writeSSE(w, int(snap.Version), "schedule", snap)
 		flusher.Flush()
 	}

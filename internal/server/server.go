@@ -21,7 +21,15 @@
 //	GET    /v1/routing/watch       stream routing snapshots/deltas to an edge agent
 //	GET    /v1/agents              connected-agent registry (applied versions, lag)
 //	POST   /v1/agents/heartbeat    agent lease renewal
-//	GET    /healthz                self-reported component health
+//	GET    /v1/admin/tenants       per-tenant usage (runs, series, request budget)
+//	GET    /healthz                self-reported component health (auth-exempt)
+//
+// Every /v1/* request passes through a middleware chain (middleware.go):
+// request-ID minting, structured logging, bearer-token auth resolving
+// the calling tenant, and per-tenant rate limiting. With no auth
+// resolver configured all callers are the default tenant — the
+// pre-tenancy behavior, byte for byte. Errors use a typed envelope,
+// {"error": {"code", "message"}}, with stable machine-readable codes.
 //
 // A Server owns no goroutines of its own beyond the ones net/http
 // starts per request; the Bifrost engine drives runs, and the optional
@@ -35,6 +43,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +55,7 @@ import (
 	"contexp/internal/journal"
 	"contexp/internal/metrics"
 	"contexp/internal/router"
+	"contexp/internal/tenancy"
 	"contexp/internal/tracing"
 	"contexp/internal/wire"
 )
@@ -82,13 +93,25 @@ type Config struct {
 	// GET /v1/routing/watch streams frames, GET /v1/agents lists the
 	// fleet, POST /v1/agents/heartbeat renews agent leases. Optional.
 	Fleet *fleet.Hub
+	// Auth, when set, requires a bearer token on every /v1/* request and
+	// resolves it to the calling tenant. Nil means every caller is the
+	// default tenant (the --demo and test posture). Optional.
+	Auth *tenancy.Resolver
+	// RateLimit, when set, charges each /v1/* request against the
+	// calling tenant's token bucket; throttled callers get 429 with
+	// Retry-After. Optional.
+	RateLimit *tenancy.Limiter
+	// Logf, when set, receives one structured line per request (method,
+	// path, status, duration, tenant, request ID). Optional.
+	Logf func(format string, args ...any)
 }
 
 // Server serves the control-plane API.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler
+	start   time.Time
 
 	// demo, when set, is reported by /healthz and drives traffic.
 	demo *Demo
@@ -129,11 +152,14 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET /v1/agents", s.handleAgents)
 		s.mux.HandleFunc("POST /v1/agents/heartbeat", s.handleAgentHeartbeat)
 	}
+	s.mux.HandleFunc("GET /v1/admin/tenants", s.handleAdminTenants)
+	s.handler = s.chain()
 	return s, nil
 }
 
-// Handler returns the API handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the API handler: the middleware chain wrapped around
+// the route mux.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // SetDemo attaches a running demo so /healthz can report it.
 func (s *Server) SetDemo(d *Demo) { s.demo = d }
@@ -143,6 +169,7 @@ func (s *Server) SetDemo(d *Demo) { s.demo = d }
 // RunSummary is the list/inspect view of a run.
 type RunSummary struct {
 	Name      string   `json:"name"`
+	Tenant    string   `json:"tenant,omitempty"`
 	Service   string   `json:"service"`
 	Baseline  string   `json:"baseline"`
 	Candidate string   `json:"candidate"`
@@ -153,6 +180,10 @@ type RunSummary struct {
 	// Recovered marks runs rebuilt from the write-ahead journal after a
 	// restart rather than launched by this process.
 	Recovered bool `json:"recovered,omitempty"`
+
+	// seq carries the run's launch sequence through list pagination; it
+	// is surfaced only as the page's nextCursor, never serialized.
+	seq uint64
 }
 
 // RunDetail adds the audit trail and the rendered state machine.
@@ -194,6 +225,7 @@ func runSummary(r *bifrost.Run) RunSummary {
 	}
 	return RunSummary{
 		Name:      st.Name,
+		Tenant:    st.Tenant,
 		Service:   st.Service,
 		Baseline:  st.Baseline,
 		Candidate: st.Candidate,
@@ -213,8 +245,29 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError emits the typed error envelope with the default code for
+// the status (see errorCode in middleware.go).
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeErrorCode(w, code, errorCode(code), format, args...)
+}
+
+// writeErrorCode emits the envelope with an explicit machine-readable
+// code, for statuses with more than one cause (409 is "conflict" for a
+// duplicate name but "busy" for a service owned by another live run).
+func writeErrorCode(w http.ResponseWriter, status int, errCode, format string, args ...any) {
+	writeJSON(w, status, map[string]ErrorBody{"error": {
+		Code:    errCode,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeErrorTo writes the envelope body to an already-started response
+// (the 404/405 interceptor, which has called WriteHeader by the time
+// the body is written).
+func writeErrorTo(w io.Writer, errCode, message string) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]ErrorBody{"error": {Code: errCode, Message: message}})
 }
 
 // --- handlers ---
@@ -238,6 +291,9 @@ func (s *Server) handleSubmitStrategy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The DSL never names a tenant: the run belongs to whoever submitted
+	// it, stamped from the authenticated principal.
+	strategy.Tenant = tenancy.FromContext(r.Context())
 	if s.cfg.Scheduler != nil {
 		// Scheduler path: conflicting submissions queue instead of
 		// erroring. A queued strategy is 202 Accepted with its queue
@@ -264,7 +320,11 @@ func (s *Server) handleSubmitStrategy(w http.ResponseWriter, r *http.Request) {
 		// The strategy already parsed and validated, so Launch can only
 		// fail on a live-run name collision or service conflict (checked
 		// under the engine lock) or a routing-table rejection.
-		if strings.Contains(err.Error(), "already running") || errors.Is(err, bifrost.ErrServiceBusy) {
+		if errors.Is(err, bifrost.ErrServiceBusy) {
+			writeErrorCode(w, http.StatusConflict, "busy", "%v", err)
+			return
+		}
+		if strings.Contains(err.Error(), "already running") {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
@@ -275,20 +335,107 @@ func (s *Server) handleSubmitStrategy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, runSummary(run))
 }
 
+// reqTenant is the canonical tenant of the calling principal: resolved
+// by the auth middleware, or the default tenant when auth is off.
+func reqTenant(r *http.Request) string { return tenancy.FromContext(r.Context()) }
+
+// reqRunKey qualifies the {name} path segment with the caller's
+// tenant, yielding the engine/scheduler key. A caller can only ever
+// name its own runs: tenant B asking for tenant A's run name qualifies
+// to a key in B's namespace and misses.
+func reqRunKey(r *http.Request) string {
+	return tenancy.Qualify(reqTenant(r), r.PathValue("name"))
+}
+
+// listParams are the shared cursor-pagination controls of the list
+// endpoints (?limit=, ?cursor=); responses are {"items": [...]} plus
+// "nextCursor" when the listing was cut short.
+type listParams struct {
+	limit  int
+	cursor uint64
+	hasCur bool
+}
+
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+func parseListParams(r *http.Request) (listParams, error) {
+	p := listParams{limit: defaultListLimit}
+	q := r.URL.Query()
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			return p, fmt.Errorf("limit must be a positive integer, got %q", raw)
+		}
+		p.limit = min(n, maxListLimit)
+	}
+	if raw := q.Get("cursor"); raw != "" {
+		c, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("malformed cursor %q", raw)
+		}
+		p.cursor = c
+		p.hasCur = true
+	}
+	return p, nil
+}
+
 // handleListRuns lists runs in launch order (Engine.Runs already sorts
 // by launch sequence), so the list reads as a chronology — including
 // runs recovered from the journal, which keep their pre-restart order.
+// Cursor pagination rides the launch sequence: ?cursor= is the opaque
+// nextCursor of the previous page. ?state= filters by run status, and
+// ?tenant= (meaningful only when auth is off, i.e. for an operator
+// surface — authenticated callers always see exactly their own runs)
+// filters by tenant.
 func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
-	runs := s.cfg.Engine.Runs()
-	out := make([]RunSummary, 0, len(runs))
-	for _, run := range runs {
-		out = append(out, runSummary(run))
+	p, err := parseListParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+	q := r.URL.Query()
+	state := q.Get("state")
+	authed := s.cfg.Auth != nil
+	tenantFilter, filterByTenant := "", false
+	if authed {
+		tenantFilter, filterByTenant = reqTenant(r), true
+	} else if q.Has("tenant") {
+		tenantFilter, filterByTenant = tenancy.Canonical(q.Get("tenant")), true
+	}
+
+	items := make([]RunSummary, 0, p.limit)
+	var nextCursor string
+	for _, run := range s.cfg.Engine.Runs() {
+		st := run.Strategy()
+		if filterByTenant && st.Tenant != tenantFilter {
+			continue
+		}
+		if state != "" && run.Status().String() != state {
+			continue
+		}
+		if p.hasCur && run.Seq() <= p.cursor {
+			continue
+		}
+		if len(items) == p.limit {
+			nextCursor = strconv.FormatUint(items[len(items)-1].seq, 10)
+			break
+		}
+		sum := runSummary(run)
+		sum.seq = run.Seq()
+		items = append(items, sum)
+	}
+	resp := map[string]any{"items": items}
+	if nextCursor != "" {
+		resp["nextCursor"] = nextCursor
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
-	run, ok := s.cfg.Engine.Get(r.PathValue("name"))
+	run, ok := s.cfg.Engine.Get(reqRunKey(r))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no run named %q", r.PathValue("name"))
 		return
@@ -313,14 +460,14 @@ func (s *Server) handleAbortRun(w http.ResponseWriter, r *http.Request) {
 	// Queued-but-not-launched submissions are checked first: after a
 	// finished run's name is reused for a queued resubmission, the
 	// abort targets the waiting entry, not the finished run.
-	if s.cfg.Scheduler != nil && s.cfg.Scheduler.Cancel(r.PathValue("name")) == nil {
+	if s.cfg.Scheduler != nil && s.cfg.Scheduler.Cancel(reqRunKey(r)) == nil {
 		writeJSON(w, http.StatusAccepted, map[string]string{
 			"name":   r.PathValue("name"),
 			"status": "dequeued",
 		})
 		return
 	}
-	run, ok := s.cfg.Engine.Get(r.PathValue("name"))
+	run, ok := s.cfg.Engine.Get(reqRunKey(r))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no run named %q", r.PathValue("name"))
 		return
@@ -415,10 +562,14 @@ func (s *Server) handleIngestMetricsBinary(w http.ResponseWriter, r *http.Reques
 		}
 	}
 	now := time.Now()
+	tenant := reqTenant(r)
 	for i := range samples {
 		if samples[i].At.IsZero() {
 			samples[i].At = now
 		}
+		// The wire format never carries a tenant; the series namespace
+		// comes from the authenticated principal, not the payload.
+		samples[i].Scope.Tenant = tenant
 	}
 	s.cfg.Store.RecordBatch(samples)
 	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(samples)})
@@ -459,6 +610,7 @@ func (s *Server) handleIngestMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	now := time.Now()
+	tenant := reqTenant(r)
 	samples := make([]metrics.Sample, len(batch.Observations))
 	for i, o := range batch.Observations {
 		at := o.At
@@ -467,7 +619,7 @@ func (s *Server) handleIngestMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		samples[i] = metrics.Sample{
 			Metric: o.Metric,
-			Scope:  metrics.Scope{Service: o.Service, Version: o.Version, Variant: o.Variant},
+			Scope:  metrics.Scope{Tenant: tenant, Service: o.Service, Version: o.Version, Variant: o.Variant},
 			At:     at,
 			Value:  o.Value,
 		}
@@ -497,10 +649,18 @@ type BackendView struct {
 	Weight  float64 `json:"weight"`
 }
 
+// handleRoutes dumps the routing table. Routed services are keyed by
+// tenant-qualified name ("tenant/service"); when auth is on, the view
+// is scoped to the caller's slice of the table.
 func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 	services := s.cfg.Table.Services()
 	view := make(map[string]RouteView, len(services))
 	for _, svc := range services {
+		if s.cfg.Auth != nil {
+			if owner, _ := tenancy.Split(svc); owner != reqTenant(r) {
+				continue
+			}
+		}
 		route, err := s.cfg.Table.Route(svc)
 		if err != nil {
 			continue // removed between Services() and Route()
@@ -537,6 +697,26 @@ type Health struct {
 	Tracing   *TracingHealth   `json:"tracing,omitempty"`
 	Fleet     *FleetHealth     `json:"fleet,omitempty"`
 	Demo      *DemoHealth      `json:"demo,omitempty"`
+	// Tenants reports per-tenant usage (runs, metric series, request
+	// budget) whenever more than the default tenant is visible.
+	Tenants []TenantUsage `json:"tenants,omitempty"`
+}
+
+// TenantUsage is one tenant's footprint on the control plane: how many
+// runs it owns (live and finished), how many metric series it is
+// paying for, and how its request budget is faring.
+type TenantUsage struct {
+	Name string `json:"name"`
+	// Runs counts the tenant's runs known to the engine; LiveRuns the
+	// subset still executing.
+	Runs     int `json:"runs"`
+	LiveRuns int `json:"liveRuns"`
+	// Series counts the tenant's metric series currently in the store.
+	Series int `json:"series"`
+	// Requests and Throttled mirror the rate limiter's counters; zero
+	// when no limiter is configured.
+	Requests  uint64 `json:"requests"`
+	Throttled uint64 `json:"throttled"`
 }
 
 // TracingHealth reports the live span pipeline: the bounded collector
@@ -681,5 +861,63 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.demo != nil {
 		h.Demo = s.demo.Health()
 	}
+	if usage := s.tenantUsage(); len(usage) > 1 || (len(usage) == 1 && usage[0].Name != tenancy.Display("")) {
+		h.Tenants = usage
+	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// tenantUsage assembles the per-tenant footprint from every plane that
+// namespaces by tenant: the engine's runs, the store's series, the
+// limiter's counters, and the auth resolver's configured tenants (so a
+// provisioned-but-idle tenant still shows up with zeros).
+func (s *Server) tenantUsage() []TenantUsage {
+	acc := make(map[string]*TenantUsage)
+	get := func(tenant string) *TenantUsage {
+		name := tenancy.Display(tenant)
+		u, ok := acc[name]
+		if !ok {
+			u = &TenantUsage{Name: name}
+			acc[name] = u
+		}
+		return u
+	}
+	for _, run := range s.cfg.Engine.Runs() {
+		u := get(run.Strategy().Tenant)
+		u.Runs++
+		if run.Status() == bifrost.StatusRunning {
+			u.LiveRuns++
+		}
+	}
+	for tenant, n := range s.cfg.Store.TenantSeries() {
+		get(tenant).Series = n
+	}
+	if s.cfg.RateLimit != nil {
+		for tenant, usage := range s.cfg.RateLimit.Stats() {
+			u := get(tenant)
+			u.Requests = usage.Requests
+			u.Throttled = usage.Throttled
+		}
+	}
+	if s.cfg.Auth != nil {
+		for _, tenant := range s.cfg.Auth.Tenants() {
+			get(tenant)
+		}
+	}
+	out := make([]TenantUsage, 0, len(acc))
+	for _, u := range acc {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// handleAdminTenants is the ops view of the tenancy plane: every known
+// tenant (configured, or merely present in some plane) with its usage.
+// It is intentionally visible to any authenticated caller — tenant
+// names and coarse counts are operator-grade metadata here, not
+// secrets; deployments needing stricter separation front this route
+// with their own proxy rules.
+func (s *Server) handleAdminTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"items": s.tenantUsage()})
 }

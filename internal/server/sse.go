@@ -19,7 +19,7 @@ import (
 // recovery still receives every event from the beginning: the stream
 // is a replay plus a live tail.
 func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
-	run, ok := s.cfg.Engine.Get(r.PathValue("name"))
+	run, ok := s.cfg.Engine.Get(reqRunKey(r))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no run named %q", r.PathValue("name"))
 		return

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"contexp/internal/tenancy"
 	"contexp/internal/tracing"
 	"contexp/internal/wire"
 )
@@ -62,10 +63,16 @@ func (s *Server) handleIngestSpansBinary(w http.ResponseWriter, r *http.Request)
 		}
 	}
 	now := time.Now()
+	tenant := reqTenant(r)
 	for i := range spans {
 		if spans[i].Start.IsZero() {
 			spans[i].Start = now.Add(-spans[i].Duration)
 		}
+		// Namespace the span into the submitting tenant's topology: run
+		// assessments register tenant-qualified service names, so tenant
+		// spans must match them (and can never pollute another tenant's
+		// interaction graph).
+		spans[i].Service = tenancy.Qualify(tenant, spans[i].Service)
 	}
 	accepted := s.cfg.Traces.RecordBatch(spans)
 	writeJSON(w, http.StatusAccepted, map[string]int{
@@ -113,6 +120,7 @@ func (s *Server) handleIngestSpans(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	now := time.Now()
+	tenant := reqTenant(r)
 	spans := make([]tracing.Span, len(batch.Spans))
 	for i, o := range batch.Spans {
 		dur := time.Duration(o.DurationMs * float64(time.Millisecond))
@@ -124,7 +132,7 @@ func (s *Server) handleIngestSpans(w http.ResponseWriter, r *http.Request) {
 			TraceID:  tracing.TraceID(o.TraceID),
 			SpanID:   tracing.SpanID(o.SpanID),
 			ParentID: tracing.SpanID(o.ParentID),
-			Service:  o.Service,
+			Service:  tenancy.Qualify(tenant, o.Service),
 			Version:  o.Version,
 			Endpoint: o.Endpoint,
 			Start:    at,
@@ -145,12 +153,12 @@ func (s *Server) handleIngestSpans(w http.ResponseWriter, r *http.Request) {
 // form). The assessment exists for every run launched while live
 // tracing is enabled, metric-only strategies included.
 func (s *Server) handleRunHealth(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if _, ok := s.cfg.Engine.Get(name); !ok {
-		writeError(w, http.StatusNotFound, "no run named %q", name)
+	key := reqRunKey(r)
+	if _, ok := s.cfg.Engine.Get(key); !ok {
+		writeError(w, http.StatusNotFound, "no run named %q", r.PathValue("name"))
 		return
 	}
-	view, err := s.cfg.Health.View(name)
+	view, err := s.cfg.Health.View(key)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return

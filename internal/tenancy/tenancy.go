@@ -1,0 +1,172 @@
+// Package tenancy turns the single-operator lab daemon into a
+// multi-tenant control plane: it defines tenant identity, resolves API
+// tokens to tenants, and enforces per-tenant request budgets.
+//
+// A tenant is a short string naming the team (or experiment program)
+// that owns a set of strategies, runs, metric series, and routing
+// entries. The canonical in-process representation of the default
+// tenant — the only tenant of an auth-free daemon — is the empty
+// string, so every pre-tenancy key (run names, router services, metric
+// series) is byte-identical to its default-tenant qualified form and
+// existing journals replay unchanged. Display surfaces render the
+// empty tenant as "default".
+//
+// Identity is established at the HTTP edge (see internal/server's
+// middleware chain): a bearer token resolves to a tenant through a
+// Resolver, and everything downstream — engine conflict checks,
+// scheduler capacity, metric series namespacing, journal records —
+// carries the resolved tenant, never one claimed in a request body.
+package tenancy
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Default is the display name of the empty (auth-free) tenant.
+const Default = "default"
+
+// Canonical maps the spellings of the default tenant ("" and
+// "default") onto the canonical in-process form: the empty string.
+func Canonical(tenant string) string {
+	if tenant == Default {
+		return ""
+	}
+	return tenant
+}
+
+// Display renders a canonical tenant for humans and JSON surfaces.
+func Display(tenant string) string {
+	if tenant == "" {
+		return Default
+	}
+	return tenant
+}
+
+// Qualify namespaces a name by tenant. The default tenant's qualified
+// form is the bare name, so single-tenant deployments keep their
+// pre-tenancy keys (and journals, and routing tables) verbatim.
+func Qualify(tenant, name string) string {
+	if Canonical(tenant) == "" {
+		return name
+	}
+	return tenant + "/" + name
+}
+
+// Split undoes Qualify: "tenantA/checkout" → ("tenantA", "checkout"),
+// "checkout" → ("", "checkout").
+func Split(qualified string) (tenant, name string) {
+	if i := strings.IndexByte(qualified, '/'); i >= 0 {
+		return qualified[:i], qualified[i+1:]
+	}
+	return "", qualified
+}
+
+// ValidName reports whether a tenant name is usable: nonempty, no
+// separator or control bytes, and not the reserved default spelling.
+func ValidName(tenant string) error {
+	if tenant == "" || tenant == Default {
+		return fmt.Errorf("tenancy: tenant name %q is reserved", tenant)
+	}
+	if strings.ContainsAny(tenant, "/\x00 \t\n") {
+		return fmt.Errorf("tenancy: tenant name %q contains separator or whitespace bytes", tenant)
+	}
+	return nil
+}
+
+// --- context plumbing ---
+
+type ctxKey int
+
+const (
+	tenantKey ctxKey = iota
+	requestIDKey
+)
+
+// WithTenant returns a context carrying the (canonicalized) tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey, Canonical(tenant))
+}
+
+// FromContext returns the canonical tenant of a request context; the
+// empty string (default tenant) when none was established.
+func FromContext(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey).(string)
+	return t
+}
+
+// WithRequestID returns a context carrying the request ID the edge
+// middleware minted (or accepted) for this request.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFromContext returns the request ID, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// --- token resolution ---
+
+// Resolver maps bearer tokens to tenants. The static implementation
+// here is the lab stand-in for an identity provider: contexpd loads it
+// from --auth-tokens. A nil *Resolver means auth is disabled and every
+// caller is the default tenant.
+type Resolver struct {
+	byToken map[string]string // token → canonical tenant
+	tenants []string          // sorted canonical tenant names
+}
+
+// ParseTokens builds a Resolver from the --auth-tokens spelling:
+// comma-separated tenant=token pairs, e.g.
+//
+//	checkout=s3cret,search=hunter2
+//
+// One tenant may hold several tokens (repeat the tenant); one token
+// may not serve two tenants.
+func ParseTokens(spec string) (*Resolver, error) {
+	r := &Resolver{byToken: make(map[string]string)}
+	seen := make(map[string]bool)
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		tenant, token, ok := strings.Cut(pair, "=")
+		if !ok || token == "" {
+			return nil, fmt.Errorf("tenancy: %q is not tenant=token", pair)
+		}
+		if err := ValidName(tenant); err != nil {
+			return nil, err
+		}
+		if owner, dup := r.byToken[token]; dup {
+			return nil, fmt.Errorf("tenancy: token reused by tenants %q and %q", owner, tenant)
+		}
+		r.byToken[token] = tenant
+		if !seen[tenant] {
+			seen[tenant] = true
+			r.tenants = append(r.tenants, tenant)
+		}
+	}
+	if len(r.byToken) == 0 {
+		return nil, fmt.Errorf("tenancy: no tenant=token pairs in %q", spec)
+	}
+	sort.Strings(r.tenants)
+	return r, nil
+}
+
+// Resolve maps a token to its tenant.
+func (r *Resolver) Resolve(token string) (tenant string, ok bool) {
+	tenant, ok = r.byToken[token]
+	return tenant, ok
+}
+
+// Tenants lists the configured tenants, sorted.
+func (r *Resolver) Tenants() []string {
+	out := make([]string, len(r.tenants))
+	copy(out, r.tenants)
+	return out
+}

@@ -1,0 +1,124 @@
+package tenancy
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCanonicalAndDisplay(t *testing.T) {
+	if Canonical("default") != "" || Canonical("") != "" || Canonical("checkout") != "checkout" {
+		t.Fatalf("Canonical misbehaves")
+	}
+	if Display("") != "default" || Display("checkout") != "checkout" {
+		t.Fatalf("Display misbehaves")
+	}
+}
+
+func TestQualifySplit(t *testing.T) {
+	cases := []struct {
+		tenant, name, want string
+	}{
+		{"", "checkout", "checkout"},
+		{"default", "checkout", "checkout"},
+		{"teamA", "checkout", "teamA/checkout"},
+	}
+	for _, c := range cases {
+		if got := Qualify(c.tenant, c.name); got != c.want {
+			t.Errorf("Qualify(%q,%q) = %q, want %q", c.tenant, c.name, got, c.want)
+		}
+	}
+	if tn, n := Split("teamA/checkout"); tn != "teamA" || n != "checkout" {
+		t.Errorf("Split = %q %q", tn, n)
+	}
+	if tn, n := Split("checkout"); tn != "" || n != "checkout" {
+		t.Errorf("Split bare = %q %q", tn, n)
+	}
+}
+
+func TestParseTokens(t *testing.T) {
+	r, err := ParseTokens("checkout=s3cret, search=hunter2 ,checkout=alt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Tenants(); len(got) != 2 || got[0] != "checkout" || got[1] != "search" {
+		t.Fatalf("Tenants = %v", got)
+	}
+	for token, want := range map[string]string{"s3cret": "checkout", "alt": "checkout", "hunter2": "search"} {
+		if tn, ok := r.Resolve(token); !ok || tn != want {
+			t.Errorf("Resolve(%q) = %q %v, want %q", token, tn, ok, want)
+		}
+	}
+	if _, ok := r.Resolve("nope"); ok {
+		t.Error("unknown token resolved")
+	}
+
+	for _, bad := range []string{"", "noequals", "=tok", "default=tok", "a/b=tok", "x=t,y=t"} {
+		if _, err := ParseTokens(bad); err == nil {
+			t.Errorf("ParseTokens(%q) accepted", bad)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := WithTenant(context.Background(), "default")
+	if FromContext(ctx) != "" {
+		t.Error("default tenant not canonicalized in context")
+	}
+	ctx = WithTenant(ctx, "teamB")
+	if FromContext(ctx) != "teamB" {
+		t.Error("tenant lost")
+	}
+	ctx = WithRequestID(ctx, "req-9")
+	if RequestIDFromContext(ctx) != "req-9" {
+		t.Error("request ID lost")
+	}
+}
+
+func TestLimiterPerTenantIsolation(t *testing.T) {
+	l := NewLimiter(1, 2) // 1 rps, burst 2
+	now := time.Unix(1000, 0)
+
+	// Tenant A burns its burst; tenant B is untouched.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a", now); !ok {
+			t.Fatalf("a request %d throttled inside burst", i)
+		}
+	}
+	ok, retry := l.Allow("a", now)
+	if ok {
+		t.Fatal("a admitted beyond burst")
+	}
+	if retry <= 0 || retry > time.Second+time.Millisecond {
+		t.Fatalf("retryAfter = %v", retry)
+	}
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("b throttled by a's burst")
+	}
+
+	// Refill: one second buys one token back.
+	if ok, _ := l.Allow("a", now.Add(time.Second)); !ok {
+		t.Fatal("a still throttled after refill")
+	}
+
+	st := l.Stats()
+	if st["a"].Requests != 4 || st["a"].Throttled != 1 {
+		t.Fatalf("a usage = %+v", st["a"])
+	}
+	if st["b"].Throttled != 0 {
+		t.Fatalf("b usage = %+v", st["b"])
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 0)
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("x", now); !ok {
+			t.Fatal("disabled limiter throttled")
+		}
+	}
+	if l.Stats()["x"].Requests != 100 {
+		t.Fatal("disabled limiter not counting")
+	}
+}

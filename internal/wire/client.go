@@ -23,6 +23,7 @@ type Client struct {
 	metricsURL, spansURL string
 	hc                   *http.Client
 	batch                int
+	token                string
 
 	mu      sync.Mutex
 	menc    MetricsEncoder
@@ -51,6 +52,12 @@ func NewClient(baseURL string, hc *http.Client, batch int) *Client {
 		batch:      batch,
 	}
 }
+
+// SetToken makes every post carry the bearer token — required against
+// a control plane running with --auth-tokens, whose ingestion endpoints
+// stamp each batch into the authenticated tenant's namespace. Call
+// before the first Record; not synchronized with in-flight flushes.
+func (c *Client) SetToken(token string) { c.token = token }
 
 // RecordMetric buffers one sample, flushing when the batch fills.
 func (c *Client) RecordMetric(s metrics.Sample) {
@@ -120,7 +127,16 @@ func (c *Client) Flush() error {
 
 func (c *Client) post(url string, frame []byte) error {
 	c.flushes.Add(1)
-	resp, err := c.hc.Post(url, ContentType, bytes.NewReader(frame))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(frame))
+	if err != nil {
+		c.errors.Add(1)
+		return err
+	}
+	req.Header.Set("Content-Type", ContentType)
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		c.errors.Add(1)
 		return err

@@ -72,9 +72,9 @@ done
 
 agents_converged() {
     curl -fsS "$CP/v1/agents" | jq -e '
-        (.agents | length) == 3
-        and ([.agents[] | select(.connected)] | length) == 3
-        and ([.agents[].appliedVersion] | min) == .currentVersion'
+        (.items | length) == 3
+        and ([.items[] | select(.connected)] | length) == 3
+        and ([.items[].appliedVersion] | min) == .currentVersion'
 }
 poll 15 "3 agents connected and converged" agents_converged
 echo "   fleet converged on version $(curl -fsS "$CP/v1/agents" | jq .currentVersion)"
