@@ -11,6 +11,13 @@
 //	--data-dir ""            run-state journal directory; empty keeps
 //	                         runs in memory only (no crash recovery)
 //	--check-interval 5s      default check interval for strategies
+//	--eval-workers 0         bounded pool fanning each run's due checks
+//	                         out in parallel; 0 sizes it to GOMAXPROCS,
+//	                         1 evaluates serially. Event trails are
+//	                         byte-identical at any setting
+//	--pprof ""               serve net/http/pprof on this separate,
+//	                         private address (e.g. localhost:6060);
+//	                         empty disables profiling
 //	--max-concurrent 4       concurrently enacting strategies ceiling
 //	--capacity 0.8           aggregate candidate-traffic share ceiling
 //	--trace-buffer 100000    span cap of the live trace collector;
@@ -84,6 +91,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -107,6 +115,8 @@ type options struct {
 	addr           string
 	dataDir        string
 	checkInterval  time.Duration
+	evalWorkers    int
+	pprofAddr      string
 	maxConcurrent  int
 	capacity       float64
 	traceBuffer    int
@@ -134,6 +144,10 @@ func parseFlags(args []string) (*options, error) {
 		"directory for the run-state journal; empty keeps run state in memory only")
 	fs.DurationVar(&opt.checkInterval, "check-interval", 5*time.Second,
 		"default interval for checks that do not declare one")
+	fs.IntVar(&opt.evalWorkers, "eval-workers", 0,
+		"bounded evaluation pool size; 0 sizes it to GOMAXPROCS, 1 evaluates checks serially")
+	fs.StringVar(&opt.pprofAddr, "pprof", "",
+		"serve net/http/pprof on this separate private address (e.g. localhost:6060); empty disables")
 	fs.IntVar(&opt.maxConcurrent, "max-concurrent", 4,
 		"maximum number of concurrently enacting strategies")
 	fs.Float64Var(&opt.capacity, "capacity", 0.8,
@@ -175,6 +189,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if opt.checkInterval <= 0 {
 		return nil, errors.New("--check-interval must be positive")
+	}
+	if opt.evalWorkers < 0 {
+		return nil, errors.New("--eval-workers must be >= 0")
 	}
 	if opt.maxConcurrent <= 0 {
 		return nil, errors.New("--max-concurrent must be positive")
@@ -300,6 +317,7 @@ func run(args []string) error {
 		Store:                store,
 		DefaultCheckInterval: opt.checkInterval,
 		Journal:              jnl,
+		EvalWorkers:          opt.evalWorkers,
 	}
 	if monitor != nil {
 		// Assign through a typed check so a nil *health.Monitor never
@@ -416,6 +434,31 @@ func run(args []string) error {
 				}
 			}
 		}()
+	}
+
+	// Profiling plane: pprof gets its own listener so profiles stay off
+	// the public API address — the API's auth and rate limiting never
+	// apply here, and deployments bind it to loopback or a management
+	// network.
+	if opt.pprofAddr != "" {
+		pln, err := net.Listen("tcp", opt.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("binding --pprof address: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: pmux}
+		defer pprofSrv.Close()
+		go func() {
+			if err := pprofSrv.Serve(pln); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Printf("pprof: server stopped: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: profiling on http://%s/debug/pprof/ (keep this address private)\n", pln.Addr())
 	}
 
 	// Bind the listener before the demo boots: with --demo-wire the shop

@@ -83,6 +83,23 @@ func TestParseFlags(t *testing.T) {
 		}
 	})
 
+	t.Run("eval plane flags", func(t *testing.T) {
+		opt, err := parseFlags(nil)
+		if err != nil || opt.evalWorkers != 0 || opt.pprofAddr != "" {
+			t.Errorf("defaults = %+v, %v", opt, err)
+		}
+		opt, err = parseFlags([]string{"--eval-workers", "8", "--pprof", "localhost:6060"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.evalWorkers != 8 || opt.pprofAddr != "localhost:6060" {
+			t.Errorf("opt = %+v", opt)
+		}
+		if _, err := parseFlags([]string{"--eval-workers", "-1"}); err == nil {
+			t.Error("expected error for negative eval-workers")
+		}
+	})
+
 	t.Run("scheduler flags", func(t *testing.T) {
 		opt, err := parseFlags([]string{"--max-concurrent", "8", "--capacity", "0.5"})
 		if err != nil {

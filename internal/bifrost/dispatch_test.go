@@ -1,0 +1,457 @@
+package bifrost
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"contexp/internal/clock"
+	"contexp/internal/expmodel"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+)
+
+// --- tick cache ---
+
+func TestTickCacheSingleFlight(t *testing.T) {
+	tc := newTickCache()
+	k := tickKey{metric: "rt", since: 1, agg: metrics.AggMean, now: 100}
+	var computes atomic.Int64
+	gate := make(chan struct{})
+
+	const readers = 16
+	var wg sync.WaitGroup
+	vals := make([]float64, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := tc.query(k, func() (float64, error) {
+				computes.Add(1)
+				<-gate // hold the computation open so every reader piles on
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let the single in-flight computation accumulate waiters, then
+	// release it.
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times; want single-flight (1)", got)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Fatalf("reader %d got %v; want 42", i, v)
+		}
+	}
+	if hits, misses := tc.hits.Load(), tc.misses.Load(); misses != 1 || hits != readers-1 {
+		t.Fatalf("hits=%d misses=%d; want %d/1", hits, misses, readers-1)
+	}
+}
+
+func TestTickCacheSweepsOlderInstants(t *testing.T) {
+	tc := newTickCache()
+	compute := func(v float64) func() (float64, error) {
+		return func() (float64, error) { return v, nil }
+	}
+	for i := 0; i < 50; i++ {
+		k := tickKey{metric: fmt.Sprintf("m%d", i), now: 100}
+		if _, err := tc.query(k, compute(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(tc.entries); n != 50 {
+		t.Fatalf("entries = %d; want 50", n)
+	}
+	// A newer instant obsoletes every earlier entry.
+	if _, err := tc.query(tickKey{metric: "m0", now: 200}, compute(1)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tc.entries); n != 1 {
+		t.Fatalf("entries after sweep = %d; want 1", n)
+	}
+	if tc.newest != 200 {
+		t.Fatalf("newest = %d; want 200", tc.newest)
+	}
+}
+
+func TestTickCacheBounded(t *testing.T) {
+	tc := newTickCache()
+	// Same instant throughout: nothing is sweepable, so the map must
+	// stop growing at the hard bound.
+	for i := 0; i < maxTickEntries+100; i++ {
+		k := tickKey{metric: fmt.Sprintf("m%d", i), now: 7}
+		if _, err := tc.query(k, func() (float64, error) { return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(tc.entries); n > maxTickEntries+1 {
+		t.Fatalf("entries = %d; want <= %d", n, maxTickEntries+1)
+	}
+}
+
+// --- dispatcher ---
+
+// scriptedEvaluator replaces the metric evaluator with a scripted one:
+// per-check artificial latency (keyed by check name) and an optional
+// engine-wide block. Everything passes, so runs complete promptly.
+type scriptedEvaluator struct {
+	delays map[string]time.Duration
+	block  chan struct{} // when non-nil, Evaluate waits for close
+	calls  atomic.Int64
+}
+
+func (se *scriptedEvaluator) Evaluate(s *Strategy, p *Phase, c *Check, now time.Time) CheckResult {
+	se.calls.Add(1)
+	if se.block != nil {
+		<-se.block
+	}
+	if d := se.delays[c.Name]; d > 0 {
+		time.Sleep(d)
+	}
+	return CheckResult{Outcome: OutcomePass, Value: 1}
+}
+
+// multiCheckStrategy builds a one-phase strategy with n metric checks
+// named c0..c(n-1), all on the same interval.
+func multiCheckStrategy(tenant, service string, n int, interval, dur time.Duration) *Strategy {
+	checks := make([]Check, n)
+	for i := range checks {
+		checks[i] = Check{
+			Name: fmt.Sprintf("c%d", i), Metric: "response_time",
+			Aggregation: metrics.AggMean, Upper: true, Threshold: 100,
+			Interval: interval,
+		}
+	}
+	return &Strategy{
+		Name: "strat-" + service, Tenant: tenant, Service: service,
+		Baseline: "v1", Candidate: "v2",
+		Phases: []Phase{{
+			Name: "canary", Practice: expmodel.PracticeCanary,
+			Traffic:  TrafficSpec{CandidateWeight: 0.1},
+			Duration: dur,
+			Checks:   checks,
+			OnSuccess: Transition{
+				Kind: TransitionPromote,
+			},
+		}},
+	}
+}
+
+// TestDispatchPreservesEventOrder runs a multi-check phase with
+// deliberately skewed per-check latencies through a wide pool and
+// asserts the event trail still lists every tick's results in check
+// declaration order — the dispatcher may evaluate out of order but must
+// never record out of order.
+func TestDispatchPreservesEventOrder(t *testing.T) {
+	sim := clock.NewSim(t0)
+	eng, err := NewEngine(Config{
+		Clock: sim, Table: router.NewTable(), Store: metrics.NewStore(0),
+		EvalWorkers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c0 is the slowest, c2 the fastest: finish order is the reverse of
+	// declaration order, which is exactly what must not leak into the
+	// trail.
+	eng.evaluators[CheckMetric] = &scriptedEvaluator{delays: map[string]time.Duration{
+		"c0": 4 * time.Millisecond,
+		"c1": 2 * time.Millisecond,
+		"c2": 0,
+	}}
+
+	run, err := eng.Launch(multiCheckStrategy("", "catalog", 3, 10*time.Second, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case <-run.Done():
+		default:
+			if time.Now().After(deadline) {
+				t.Fatalf("run did not finish; status=%v", run.Status())
+			}
+			if d, ok := sim.NextDeadline(); ok {
+				sim.AdvanceTo(d)
+			}
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		break
+	}
+	if run.Status() != StatusSucceeded {
+		t.Fatalf("status = %v", run.Status())
+	}
+
+	var seq []string
+	for _, ev := range run.Events() {
+		if ev.Type == EventCheckResult {
+			seq = append(seq, ev.Check)
+		}
+	}
+	if len(seq) == 0 || len(seq)%3 != 0 {
+		t.Fatalf("check-result count = %d; want a positive multiple of 3 (%v)", len(seq), seq)
+	}
+	for i := 0; i < len(seq); i += 3 {
+		if seq[i] != "c0" || seq[i+1] != "c1" || seq[i+2] != "c2" {
+			t.Fatalf("tick %d recorded out of order: %v", i/3, seq[i:i+3])
+		}
+	}
+}
+
+// TestDispatchStalledEvaluatorNoStarvation saturates a two-slot pool
+// with evaluations that block indefinitely and verifies that unrelated
+// runs still finish: the try-acquire fallback evaluates inline on the
+// run's own goroutine, so progress never depends on another run
+// releasing a pool slot.
+func TestDispatchStalledEvaluatorNoStarvation(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Clock: clock.Real{}, Table: router.NewTable(), Store: metrics.NewStore(0),
+		EvalWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	stalled := &scriptedEvaluator{block: release}
+	fast := &scriptedEvaluator{}
+	eng.evaluators[CheckMetric] = evaluatorSwitch{stalled: stalled, fast: fast}
+
+	// Two stalled runs × two checks each: enough blocked evaluations to
+	// hold both pool slots (and their own run goroutines) indefinitely.
+	var slowRuns []*Run
+	for i := 0; i < 2; i++ {
+		s := multiCheckStrategy(fmt.Sprintf("t%d", i), "slow-svc", 2, 5*time.Millisecond, 30*time.Millisecond)
+		run, err := eng.Launch(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowRuns = append(slowRuns, run)
+	}
+	// Give the stalled evaluations time to claim the pool.
+	time.Sleep(20 * time.Millisecond)
+
+	var fastRuns []*Run
+	for i := 0; i < 4; i++ {
+		s := multiCheckStrategy(fmt.Sprintf("t%d", i), "fast-svc", 3, 5*time.Millisecond, 30*time.Millisecond)
+		run, err := eng.Launch(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastRuns = append(fastRuns, run)
+	}
+	for i, run := range fastRuns {
+		select {
+		case <-run.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("fast run %d starved behind stalled evaluators", i)
+		}
+		if run.Status() != StatusSucceeded {
+			t.Fatalf("fast run %d status = %v", i, run.Status())
+		}
+	}
+
+	close(release)
+	for i, run := range slowRuns {
+		select {
+		case <-run.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("slow run %d did not finish after release", i)
+		}
+	}
+	if st := eng.EvalPlane(); st.InlineEvals == 0 {
+		t.Error("expected inline fallback evaluations while the pool was saturated")
+	}
+}
+
+// evaluatorSwitch routes slow-svc checks to the stalled script and
+// everything else to the fast one.
+type evaluatorSwitch struct {
+	stalled, fast *scriptedEvaluator
+}
+
+func (es evaluatorSwitch) Evaluate(s *Strategy, p *Phase, c *Check, now time.Time) CheckResult {
+	if s.Service == "slow-svc" {
+		return es.stalled.Evaluate(s, p, c, now)
+	}
+	return es.fast.Evaluate(s, p, c, now)
+}
+
+// TestDispatchManyRunsManyTenants drives 24 multi-check runs across 6
+// tenants to completion on one simulated clock — under -race this is
+// the dispatcher's concurrency soak — and then checks every run's
+// event trail independently: status, per-tick check order, and
+// non-decreasing timestamps.
+func TestDispatchManyRunsManyTenants(t *testing.T) {
+	sim := clock.NewSim(t0)
+	store := metrics.NewStore(0)
+	eng, err := NewEngine(Config{
+		Clock: sim, Table: router.NewTable(), Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tenants, perTenant = 6, 4
+	var runs []*Run
+	for ti := 0; ti < tenants; ti++ {
+		tenant := fmt.Sprintf("tenant-%d", ti)
+		for si := 0; si < perTenant; si++ {
+			svc := fmt.Sprintf("svc-%d", si)
+			// Healthy candidate metrics for every run's scope.
+			scope := metrics.Scope{Tenant: tenant, Service: svc, Version: "v2"}
+			for ts := time.Duration(0); ts <= 2*time.Minute; ts += time.Second {
+				store.Record("response_time", scope, t0.Add(ts), 50)
+			}
+			run, err := eng.Launch(multiCheckStrategy(tenant, svc, 3, 5*time.Second, time.Minute))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, run)
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		allDone := true
+		for _, r := range runs {
+			select {
+			case <-r.Done():
+			default:
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("runs did not finish")
+		}
+		if d, ok := sim.NextDeadline(); ok {
+			sim.AdvanceTo(d)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	for _, r := range runs {
+		if r.Status() != StatusSucceeded {
+			t.Errorf("run %s status = %v", r.Strategy().RunKey(), r.Status())
+		}
+		events := r.Events()
+		var seq []string
+		for i, ev := range events {
+			if i > 0 && ev.At.Before(events[i-1].At) {
+				t.Errorf("run %s: event %d at %v before predecessor %v",
+					r.Strategy().RunKey(), i, ev.At, events[i-1].At)
+			}
+			if ev.Type == EventCheckResult {
+				seq = append(seq, ev.Check)
+			}
+		}
+		for i := 0; i+2 < len(seq); i += 3 {
+			if seq[i] != "c0" || seq[i+1] != "c1" || seq[i+2] != "c2" {
+				t.Errorf("run %s tick %d out of order: %v", r.Strategy().RunKey(), i/3, seq[i:i+3])
+			}
+		}
+	}
+
+	// Co-scheduled identical queries under the simulated clock must have
+	// coalesced: same metric, same instants, per-tenant scopes differ but
+	// sibling checks within a run share one query.
+	if st := eng.EvalPlane(); st.CacheHits == 0 {
+		t.Errorf("expected tick-cache hits from coalesced sibling checks; stats %+v", st)
+	}
+}
+
+// TestDispatchEventTrailsWorkerCountInvariant replays one strategy on
+// engines configured serial (EvalWorkers=1, cache off) and wide
+// (EvalWorkers=16) and requires the two event trails to be identical
+// field for field — the determinism contract CI's eval-scale scenario
+// step enforces end to end.
+func TestDispatchEventTrailsWorkerCountInvariant(t *testing.T) {
+	trail := func(cfgTweak func(*Config)) []Event {
+		sim := clock.NewSim(t0)
+		store := metrics.NewStore(0)
+		scope := metrics.Scope{Service: "catalog", Version: "v2"}
+		for ts := time.Duration(0); ts <= 2*time.Minute; ts += time.Second {
+			store.Record("response_time", scope, t0.Add(ts), 50)
+		}
+		cfg := Config{Clock: sim, Table: router.NewTable(), Store: store}
+		cfgTweak(&cfg)
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := eng.Launch(multiCheckStrategy("", "catalog", 3, 5*time.Second, time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			select {
+			case <-run.Done():
+				return run.Events()
+			default:
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("run did not finish; status=%v", run.Status())
+			}
+			if d, ok := sim.NextDeadline(); ok {
+				sim.AdvanceTo(d)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	serial := trail(func(c *Config) { c.EvalWorkers = 1; c.DisableEvalCache = true })
+	wide := trail(func(c *Config) { c.EvalWorkers = 16 })
+
+	if len(serial) != len(wide) {
+		t.Fatalf("trail lengths differ: serial=%d wide=%d", len(serial), len(wide))
+	}
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("event %d differs:\nserial: %+v\nwide:   %+v", i, serial[i], wide[i])
+		}
+	}
+}
+
+// TestEvalPlaneStats sanity-checks the dispatcher's health-surface
+// counters.
+func TestEvalPlaneStats(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Table: router.NewTable(), Store: metrics.NewStore(0), EvalWorkers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.EvalPlane()
+	if st.Workers != 3 {
+		t.Errorf("Workers = %d; want 3", st.Workers)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.InlineEvals != 0 {
+		t.Errorf("fresh engine counters non-zero: %+v", st)
+	}
+
+	serial, err := NewEngine(Config{
+		Table: router.NewTable(), Store: metrics.NewStore(0),
+		EvalWorkers: 1, DisableEvalCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.EvalPlane().Workers; got != 1 {
+		t.Errorf("serial Workers = %d; want 1", got)
+	}
+}

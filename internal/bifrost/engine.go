@@ -3,6 +3,7 @@ package bifrost
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -143,6 +144,16 @@ type Config struct {
 	// has data even for metric-only strategies. Nil rejects strategies
 	// with topology checks at launch.
 	Topology TopologyAssessor
+	// EvalWorkers bounds the engine-wide pool that fans a run's due
+	// checks out in parallel (dispatch.go). 0 defaults to GOMAXPROCS;
+	// 1 evaluates fully serially on each run's own goroutine. Event
+	// trails are byte-identical at any setting.
+	EvalWorkers int
+	// DisableEvalCache turns off the single-flight tick cache that
+	// deduplicates identical queries within an evaluation instant.
+	// Meant for benchmarking the uncoalesced path; production keeps
+	// the cache on.
+	DisableEvalCache bool
 }
 
 // Engine executes live testing strategies concurrently: the Bifrost
@@ -174,6 +185,14 @@ type Engine struct {
 
 	delayMu sync.Mutex
 	delays  []time.Duration
+
+	// Evaluation dispatcher (dispatch.go): bounded worker pool and
+	// single-flight tick cache. evalSem is nil when evaluation is
+	// serial (EvalWorkers <= 1); evalCache is nil when disabled.
+	evalWorkers int
+	evalSem     chan struct{}
+	evalCache   *tickCache
+	inlineEvals atomic.Int64
 }
 
 // NewEngine creates an Engine.
@@ -197,6 +216,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.evaluators = map[CheckKind]CheckEvaluator{
 		CheckMetric:   metricEvaluator{e},
 		CheckTopology: topologyEvaluator{e},
+	}
+	e.evalWorkers = cfg.EvalWorkers
+	if e.evalWorkers <= 0 {
+		e.evalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if e.evalWorkers > 1 {
+		e.evalSem = make(chan struct{}, e.evalWorkers)
+	}
+	if !cfg.DisableEvalCache {
+		e.evalCache = newTickCache()
 	}
 	return e, nil
 }
@@ -628,6 +657,8 @@ func (r *Run) observe(p *Phase, start time.Time, dur time.Duration) (Outcome, bo
 		c := &p.Checks[i]
 		states[i] = &checkState{check: c, due: start.Add(e.checkInterval(c))}
 	}
+	due := make([]*checkState, 0, len(states))
+	checks := make([]*Check, 0, len(states))
 
 	for {
 		now := e.cfg.Clock.Now()
@@ -646,13 +677,26 @@ func (r *Run) observe(p *Phase, start time.Time, dur time.Duration) (Outcome, bo
 		}
 		now = e.cfg.Clock.Now()
 
-		// Evaluate all due checks.
+		// Collect the tick's due checks in state order and evaluate
+		// them as one batch through the dispatcher (dispatch.go) —
+		// possibly in parallel, possibly coalesced with identical
+		// queries elsewhere. The batch joins before anything is
+		// recorded, so the trail below is in state order regardless of
+		// worker count.
+		due = due[:0]
+		checks = checks[:0]
 		for _, st := range states {
 			if st.due.After(now) {
 				continue
 			}
 			e.recordDelay(now.Sub(st.due))
-			res := e.evaluateCheck(r.strategy, p, st.check, now)
+			due = append(due, st)
+			checks = append(checks, st.check)
+		}
+		results := r.evalBatch(p, checks, now)
+
+		for i, st := range due {
+			res := results[i]
 			outcome := res.Outcome
 			// Topology verdicts are journaled as their own typed event so
 			// the structural decision trail survives crashes verbatim;
@@ -672,6 +716,9 @@ func (r *Run) observe(p *Phase, start time.Time, dur time.Duration) (Outcome, bo
 				st.failures++
 				st.sawData = true
 				if st.failures >= e.failuresToTrip(st.check) {
+					// Tripped: later batch results are discarded
+					// unrecorded, exactly like the serial loop that
+					// never evaluated them.
 					return OutcomeFail, false
 				}
 			case OutcomePass:
@@ -701,10 +748,14 @@ func (r *Run) concludePhase(p *Phase, start, now time.Time) Outcome {
 			return OutcomeInconclusive
 		}
 	}
-	outcome := OutcomePass
+	checks := make([]*Check, len(p.Checks))
 	for i := range p.Checks {
-		c := &p.Checks[i]
-		res := e.evaluateCheck(r.strategy, p, c, now)
+		checks[i] = &p.Checks[i]
+	}
+	results := r.evalBatch(p, checks, now)
+	outcome := OutcomePass
+	for i, c := range checks {
+		res := results[i]
 		// Conclude-time topology verdicts are journaled like interval
 		// ones: the structural evidence that decided the phase must
 		// survive in the event trail.
@@ -714,6 +765,8 @@ func (r *Run) concludePhase(p *Phase, start, now time.Time) Outcome {
 		}
 		switch res.Outcome {
 		case OutcomeFail:
+			// Later results are discarded unrecorded, matching the
+			// serial loop's early return.
 			return OutcomeFail
 		case OutcomeInconclusive:
 			outcome = OutcomeInconclusive

@@ -1,0 +1,174 @@
+package bifrost
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"contexp/internal/clock"
+	"contexp/internal/metrics"
+	"contexp/internal/router"
+)
+
+// BenchmarkEvalPlane measures one evaluation-plane tick at scale: 200
+// concurrent runs, each with four due checks — a staged ladder of
+// thresholds over one shared latency signal (p95), the common
+// multi-threshold guard shape — over per-run series that concurrent
+// RecordBatch writers are hammering throughout the timed region.
+//
+//   - serial: the pre-dispatcher reference plane — every run's checks
+//     evaluated one after another, no pool, no coalescing: four full
+//     quantile-sketch merges per run per tick.
+//   - dispatch: the shipped architecture — each run's batch evaluated
+//     on its own (persistent) run goroutine, fanned out through the
+//     bounded pool with the single-flight tick cache coalescing the
+//     shared signal to one sketch merge per run per tick.
+//
+// The dispatch/serial ratio is the evaluation-throughput speedup the
+// performance docs quote (coalescing alone on one core; the pool adds
+// near-linear scaling on top with more cores). The bench gate tracks
+// the dispatch arm.
+func BenchmarkEvalPlane(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		benchEvalPlane(b, Config{EvalWorkers: 1, DisableEvalCache: true}, false)
+	})
+	b.Run("dispatch", func(b *testing.B) {
+		benchEvalPlane(b, Config{}, true)
+	})
+}
+
+const (
+	evalPlaneRuns   = 200
+	evalPlaneWindow = 240 * time.Second
+)
+
+func benchEvalPlane(b *testing.B, cfg Config, concurrentRuns bool) {
+	store := metrics.NewStore(0)
+	cfg.Clock = clock.Real{}
+	cfg.Table = router.NewTable()
+	cfg.Store = store
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// 200 runs over distinct per-service series.
+	runs := make([]*Run, evalPlaneRuns)
+	scopes := make([]metrics.Scope, evalPlaneRuns)
+	now := time.Now()
+	for i := range runs {
+		svc := fmt.Sprintf("svc-%03d", i)
+		s := &Strategy{
+			Name: "strat-" + svc, Service: svc, Baseline: "v1", Candidate: "v2",
+			Phases: []Phase{{
+				Name: "canary", Traffic: TrafficSpec{CandidateWeight: 0.1},
+				Duration: time.Minute,
+				// A threshold ladder over one shared p95 signal: four
+				// checks, one distinct query key.
+				Checks: []Check{
+					{Name: "p95-soft", Metric: "response_time", Aggregation: metrics.AggP95,
+						Upper: true, Threshold: 1e9, Interval: evalPlaneWindow},
+					{Name: "p95-warn", Metric: "response_time", Aggregation: metrics.AggP95,
+						Upper: true, Threshold: 1e8, Interval: evalPlaneWindow},
+					{Name: "p95-hard", Metric: "response_time", Aggregation: metrics.AggP95,
+						Upper: true, Threshold: 1e7, Interval: evalPlaneWindow},
+					{Name: "p95-trip", Metric: "response_time", Aggregation: metrics.AggP95,
+						Upper: true, Threshold: 1e6, Interval: evalPlaneWindow},
+				},
+			}},
+		}
+		runs[i] = &Run{strategy: s, engine: eng}
+		scopes[i] = metrics.Scope{Service: svc, Version: "v2"}
+		// A full window of sealed per-second history ending now, so every
+		// query has data regardless of how long the timed region runs.
+		for ts := -245; ts <= 0; ts++ {
+			store.Record("response_time", scopes[i], now.Add(time.Duration(ts)*time.Second), 1+float64(ts&63))
+		}
+	}
+
+	// Concurrent write pressure on the very series the checks read.
+	// Writers pace themselves so they model a steady ingestion stream
+	// rather than monopolizing the benchmark machine's cores.
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			batch := make([]metrics.Sample, 64)
+			for i := w; ; i += 2 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				scope := scopes[i%evalPlaneRuns]
+				at := time.Now()
+				for k := range batch {
+					batch[k] = metrics.Sample{Metric: "response_time", Scope: scope, At: at, Value: 1 + float64(k&63)}
+				}
+				store.RecordBatch(batch)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(w)
+	}
+
+	// Per-run check slices built once, like observe()'s reused buffers.
+	checkSets := make([][]*Check, len(runs))
+	for i, r := range runs {
+		p := &r.strategy.Phases[0]
+		checks := make([]*Check, len(p.Checks))
+		for ci := range p.Checks {
+			checks[ci] = &p.Checks[ci]
+		}
+		checkSets[i] = checks
+	}
+	tickOne := func(i int, tick time.Time) {
+		r := runs[i]
+		r.evalBatch(&r.strategy.Phases[0], checkSets[i], tick)
+	}
+
+	var (
+		tickCh chan time.Time
+		doneWg sync.WaitGroup
+	)
+	if concurrentRuns {
+		// Persistent per-run goroutines, like the engine's run loops:
+		// each receives the tick instant and evaluates its own batch.
+		tickCh = make(chan time.Time)
+		var lifeWg sync.WaitGroup
+		for i := range runs {
+			lifeWg.Add(1)
+			go func(i int) {
+				defer lifeWg.Done()
+				for tick := range tickCh {
+					tickOne(i, tick)
+					doneWg.Done()
+				}
+			}(i)
+		}
+		defer lifeWg.Wait()
+		defer close(tickCh)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick := time.Now()
+		if concurrentRuns {
+			doneWg.Add(len(runs))
+			for range runs {
+				tickCh <- tick
+			}
+			doneWg.Wait()
+		} else {
+			for i := range runs {
+				tickOne(i, tick)
+			}
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	writers.Wait()
+}

@@ -70,8 +70,11 @@ func (me metricEvaluator) Evaluate(s *Strategy, p *Phase, c *Check, now time.Tim
 	}
 	since := now.Add(-window)
 
+	// Identical (metric, scope, window, aggregation) queries evaluated
+	// at the same instant — sibling checks in this batch, co-scheduled
+	// runs under the simulated clock — are computed once (dispatch.go).
 	query := func(scope metrics.Scope) (float64, error) {
-		return e.cfg.Store.Query(c.Metric, scope, since, c.Aggregation)
+		return e.cachedQuery(c.Metric, scope, since, c.Aggregation, now)
 	}
 
 	switch c.Scope {

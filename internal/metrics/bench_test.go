@@ -76,6 +76,55 @@ func BenchmarkQueryP95Hot(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryParallel hammers the sealed-aggregate read path from
+// all cores while a writer keeps appending: readers take no series
+// lock and allocate nothing (the allocs gate holds the path at zero),
+// so throughput scales with cores instead of serializing on the
+// per-series mutex.
+func BenchmarkQueryParallel(b *testing.B) {
+	st := NewStore(0)
+	scope := Scope{Service: "svc", Version: "v1"}
+	now := time.Now()
+	// 30s of sealed history ending now; the writer below appends live.
+	for i := 0; i < 30000; i++ {
+		st.Record("rt", scope, now.Add(time.Duration(i-30000)*time.Millisecond), 1+float64(i%100))
+	}
+	since := now.Add(-25 * time.Second)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		batch := make([]Sample, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			at := time.Now()
+			for k := range batch {
+				batch[k] = Sample{Metric: "rt", Scope: scope, At: at, Value: 1 + float64(k%100)}
+			}
+			st.RecordBatch(batch) // zero-alloc concurrent write pressure
+		}
+	}()
+	aggs := []Aggregation{AggMean, AggCount, AggMax, AggRate}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := st.Query("rt", scope, since, aggs[i%len(aggs)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 // BenchmarkStoreRecordBatch measures the batched ingestion path with a
 // realistic mixed batch (four series interleaved in runs, the shape the
 // binary ingestion endpoint and the simulators deliver). Steady-state

@@ -50,6 +50,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"contexp/internal/fnvx"
@@ -273,22 +274,37 @@ type series struct {
 	minute rollRing
 	hour   rollRing
 
+	// Lock-light read side (sealed.go): completed seconds sealed into
+	// an atomically-published immutable view, the in-progress second
+	// mirrored in a seqlock hot bucket synced once per locked write
+	// section. Aggregate queries over the pair take no series lock.
+	// curHotIdx/hotDirty are write-side bookkeeping guarded by mu;
+	// lateSeq counts out-of-order writes into sealed history so
+	// readers can tell when the view went stale.
+	view      atomic.Pointer[sealedView]
+	hot       hotBucket
+	curHotIdx int64
+	hotDirty  bool
+	lateSeq   atomic.Uint64
+
 	// lastWrite drives idle-series eviction (Store.Maintain).
 	lastWrite time.Time
 }
 
 func newSeries(capacity int) *series {
 	return &series{
-		buf:     make([]observation, capacity),
-		buckets: make([]*aggBucket, numTimeBuckets),
-		minute:  rollRing{width: 60, slots: minuteRingSlots},
-		hour:    rollRing{width: 3600, slots: hourRingSlots},
+		buf:       make([]observation, capacity),
+		buckets:   make([]*aggBucket, numTimeBuckets),
+		minute:    rollRing{width: 60, slots: minuteRingSlots},
+		hour:      rollRing{width: 3600, slots: hourRingSlots},
+		curHotIdx: math.MinInt64, // first write always opens a new second
 	}
 }
 
 func (s *series) record(at time.Time, v float64) {
 	s.mu.Lock()
 	s.recordLocked(at, v)
+	s.flushHotLocked()
 	s.mu.Unlock()
 }
 
@@ -318,7 +334,9 @@ func (s *series) recordLocked(at time.Time, v float64) {
 	}
 	if bIdx <= s.latestIdx-numTimeBuckets {
 		// Too old for the aggregate ring; only the raw ring sees it
-		// (and earliestIdx now marks coverage as incomplete).
+		// (and earliestIdx now marks coverage as incomplete, which
+		// lock-free readers learn through the late-write sequence).
+		s.lateSeq.Add(1)
 		return
 	}
 	slot := int(((bIdx % numTimeBuckets) + numTimeBuckets) % numTimeBuckets)
@@ -331,6 +349,7 @@ func (s *series) recordLocked(at time.Time, v float64) {
 		b.reset(bIdx)
 	}
 	b.add(at, v)
+	s.sealOnWriteLocked(bIdx)
 
 	// Rollup tiers: two more cheap bucket adds per observation keep the
 	// minute and hour rings always-current, so downsampling needs no
@@ -515,6 +534,7 @@ func (st *Store) RecordBatch(samples []Sample) {
 		for k := i; k < j; k++ {
 			s.recordLocked(samples[k].At, samples[k].Value)
 		}
+		s.flushHotLocked()
 		s.mu.Unlock()
 		i = j
 	}
@@ -533,9 +553,23 @@ func (st *Store) RecordBatch(samples []Sample) {
 // `since` contributes whole. Queries reaching back before the aggregate
 // ring's coverage fall back to an exact scan of the raw ring.
 func (st *Store) Query(metric string, scope Scope, since time.Time, agg Aggregation) (float64, error) {
-	s := st.lookup(seriesKey(metric, scope))
+	// Pooled key probe (as in RecordBatch): looking up an existing
+	// series allocates nothing.
+	bufp := keyBufPool.Get().(*[]byte)
+	buf := appendSeriesKey((*bufp)[:0], metric, scope)
+	s := st.lookupBytes(buf)
+	*bufp = buf
+	keyBufPool.Put(bufp)
 	if s == nil {
 		return 0, fmt.Errorf("%w: no series %s %s", ErrNoData, metric, scope)
+	}
+	// Lock-free fast path (sealed.go): aggregate reads over the sealed
+	// view + hot mirror take no series lock and allocate nothing.
+	// Quantiles need the histogram sketches and keep the locked path.
+	if agg != AggMedian && agg != AggP95 && agg != AggP99 {
+		if v, ok, err := s.querySealed(since, agg); ok {
+			return v, err
+		}
 	}
 	s.mu.Lock()
 	if s.coversAgg(since) {

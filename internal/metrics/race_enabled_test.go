@@ -1,0 +1,8 @@
+//go:build race
+
+package metrics
+
+// raceEnabled lets allocation-count assertions skip under the race
+// detector, whose instrumentation allocates on paths that are
+// allocation-free in normal builds.
+const raceEnabled = true

@@ -1,0 +1,331 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the lock-light read side of a series: completed
+// one-second buckets are sealed into an immutable view published
+// through an atomic pointer, and the in-progress second is mirrored in
+// a seqlock-style bucket whose fields are all atomics. Aggregate
+// queries (mean/min/max/count/sum/rate) over that pair take no series
+// lock and allocate nothing, so hundreds of concurrent check
+// evaluations never serialize against writers — or each other — on the
+// per-series mutex. Quantile queries keep the locked path: they need
+// the histogram sketches, which are deliberately not copied into the
+// sealed view (that would multiply the publish cost by histSize).
+//
+// Write-side protocol (all under the series mutex, single writer):
+//
+//   - first write of a new second: publish a view sealing everything
+//     before that second. The just-finished second's ring bucket is
+//     complete at that point, so the view is lossless without ever
+//     reading the mirror.
+//   - write into the current second: it lands in the locked bucket
+//     ring as before and marks the mirror dirty; the mirror is synced
+//     from the ring bucket once per locked write section (record or a
+//     RecordBatch series run), not per sample, keeping the hot write
+//     path at one bool store per observation.
+//   - late write into an already-sealed second: bumps the series'
+//     late-write sequence, which readers compare against the value
+//     stamped into the view at publish. A mismatch sends the read down
+//     the locked path; the next second-boundary seal republishes with
+//     the current sequence and re-arms the fast path. Deferring the
+//     reconcile keeps out-of-order batches (the steady state for
+//     replayed telemetry) allocation-free.
+//
+// Read-side protocol: check the late-write sequence, load view,
+// snapshot hot, reload view; retry if the view moved or the hot
+// seqlock was mid-write. The hot snapshot supplements the view only
+// when its second is not already sealed into it (h.idx >= view.hotIdx)
+// — rechecking the view after the hot snapshot is what makes the pair
+// lossless: a reader that observes a mirror second at or past hotIdx
+// is guaranteed (atomic ordering: the view publish precedes the mirror
+// sync) to also observe the view holding every earlier second. A
+// lagging mirror merely linearizes the read before the in-flight
+// writes. A handful of failed attempts falls back to the locked path —
+// correctness never depends on winning the race.
+
+// sealedBucket is an immutable, histogram-free copy of one completed
+// one-second aggregate bucket.
+type sealedBucket struct {
+	idx     int64 // unix second, full index
+	count   int
+	sum     float64
+	min     float64
+	max     float64
+	firstNs int64 // UnixNano of earliest/latest observation; count > 0
+	lastNs  int64 // guarantees both are meaningful
+}
+
+// sealedView is the atomically-published read index over sealed
+// seconds. Immutable after publish.
+type sealedView struct {
+	// buckets holds every live bucket with idx < hotIdx, in ring order.
+	buckets []sealedBucket
+	// earliestIdx/latestIdx mirror the series' coverage bookkeeping at
+	// publish time; readers extend latestIdx with the hot second.
+	earliestIdx int64
+	latestIdx   int64
+	// hotIdx is the first unsealed second: the hot mirror supplements
+	// this view iff its idx is >= hotIdx.
+	hotIdx int64
+	// lateSeq is the series' late-write sequence at publish; a reader
+	// seeing a newer value knows sealed history moved under this view.
+	lateSeq uint64
+}
+
+// hotBucket mirrors the in-progress second for lock-free readers. All
+// fields are atomics (race-detector clean); seq makes a multi-field
+// snapshot consistent: odd while a sync is in flight, bumped twice per
+// sync, so a reader whose two seq loads match saw a stable state. Only
+// the write side mutates it, always under the series mutex.
+type hotBucket struct {
+	seq     atomic.Uint64
+	idx     atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	firstNs atomic.Int64
+	lastNs  atomic.Int64
+}
+
+// syncLocked copies the current second's ring bucket into the mirror
+// in one seqlock section. Caller holds the series mutex.
+func (h *hotBucket) syncLocked(b *aggBucket) {
+	h.seq.Add(1)
+	h.idx.Store(b.idx)
+	h.count.Store(int64(b.count))
+	h.sumBits.Store(math.Float64bits(b.sum))
+	h.minBits.Store(math.Float64bits(b.min))
+	h.maxBits.Store(math.Float64bits(b.max))
+	h.firstNs.Store(b.firstAt.UnixNano())
+	h.lastNs.Store(b.lastAt.UnixNano())
+	h.seq.Add(1)
+}
+
+// hotSnap is a reader's consistent copy of the hot mirror.
+type hotSnap struct {
+	idx     int64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	firstNs int64
+	lastNs  int64
+}
+
+// snapshot copies the mirror if no sync intervened; ok is false when
+// the caller should retry (or fall back to the locked path).
+func (h *hotBucket) snapshot() (hotSnap, bool) {
+	s1 := h.seq.Load()
+	if s1&1 != 0 {
+		return hotSnap{}, false
+	}
+	snap := hotSnap{
+		idx:     h.idx.Load(),
+		count:   h.count.Load(),
+		sum:     math.Float64frombits(h.sumBits.Load()),
+		min:     math.Float64frombits(h.minBits.Load()),
+		max:     math.Float64frombits(h.maxBits.Load()),
+		firstNs: h.firstNs.Load(),
+		lastNs:  h.lastNs.Load(),
+	}
+	if h.seq.Load() != s1 {
+		return hotSnap{}, false
+	}
+	return snap, true
+}
+
+// republishLocked seals every live bucket before hotIdx into a fresh
+// view. Caller holds the series mutex. O(ring) once per second per
+// series — not per write.
+func (s *series) republishLocked(hotIdx int64) {
+	n := 0
+	oldestValid := s.latestIdx - numTimeBuckets
+	for _, b := range s.buckets {
+		if b != nil && b.count > 0 && b.idx > oldestValid && b.idx < hotIdx {
+			n++
+		}
+	}
+	v := &sealedView{
+		buckets:     make([]sealedBucket, 0, n),
+		earliestIdx: s.earliestIdx,
+		latestIdx:   s.latestIdx,
+		hotIdx:      hotIdx,
+		lateSeq:     s.lateSeq.Load(),
+	}
+	for _, b := range s.buckets {
+		if b == nil || b.count == 0 || b.idx <= oldestValid || b.idx >= hotIdx {
+			continue
+		}
+		v.buckets = append(v.buckets, sealedBucket{
+			idx: b.idx, count: b.count, sum: b.sum, min: b.min, max: b.max,
+			firstNs: b.firstAt.UnixNano(), lastNs: b.lastAt.UnixNano(),
+		})
+	}
+	s.view.Store(v)
+}
+
+// sealOnWriteLocked is the write-side hook recordLocked calls after
+// the locked bucket ring has absorbed a sample for second bIdx: it
+// keeps the sealed view in step and marks the mirror for the
+// end-of-section sync.
+func (s *series) sealOnWriteLocked(bIdx int64) {
+	switch {
+	case bIdx > s.curHotIdx:
+		// First write of a new second: seal everything before it. The
+		// mirror keeps showing the old second until the flush; readers
+		// exclude it then (idx < hotIdx), so nothing double-counts.
+		s.republishLocked(bIdx)
+		s.curHotIdx = bIdx
+		s.hotDirty = true
+	case bIdx == s.curHotIdx:
+		s.hotDirty = true
+	default:
+		// Late write into sealed history: invalidate the fast path
+		// until the next seal republishes.
+		s.lateSeq.Add(1)
+	}
+}
+
+// flushHotLocked syncs the mirror from the current second's ring
+// bucket. Called once at the end of every locked write section.
+func (s *series) flushHotLocked() {
+	if !s.hotDirty {
+		return
+	}
+	s.hotDirty = false
+	slot := int(((s.curHotIdx % numTimeBuckets) + numTimeBuckets) % numTimeBuckets)
+	if b := s.buckets[slot]; b != nil && b.idx == s.curHotIdx {
+		s.hot.syncLocked(b)
+	}
+}
+
+// querySealed answers an aggregate query from the sealed view plus the
+// hot mirror, without the series lock and without allocating. ok is
+// false when the locked path must decide instead: no view yet, the
+// window reaches past sealed coverage (rollup/exact territory), stale
+// sealed history, or the optimistic read lost too many races. Never
+// called for quantiles.
+func (s *series) querySealed(since time.Time, agg Aggregation) (float64, bool, error) {
+	for attempt := 0; attempt < 8; attempt++ {
+		v := s.view.Load()
+		if v == nil {
+			return 0, false, nil
+		}
+		if s.lateSeq.Load() != v.lateSeq {
+			// Sealed history moved under this view (out-of-order write);
+			// the locked path sees it, the next seal re-arms us.
+			return 0, false, nil
+		}
+		h, ok := s.hot.snapshot()
+		if !ok || s.view.Load() != v {
+			continue // writer in flight; retry with the fresh pair
+		}
+		// The hot second supplements the view only when not already
+		// sealed into it.
+		useHot := h.count > 0 && h.idx >= v.hotIdx
+		latest := v.latestIdx
+		if useHot && h.idx > latest {
+			latest = h.idx
+		}
+		// Mirror coversAgg: the pair answers only windows inside the
+		// aggregate ring's coverage.
+		if latest-v.earliestIdx >= numTimeBuckets &&
+			since.Before(time.Unix(latest-numTimeBuckets+1, 0)) {
+			return 0, false, nil
+		}
+		var (
+			count           int
+			sum             float64
+			minV            = math.Inf(1)
+			maxV            = math.Inf(-1)
+			firstNs, lastNs int64
+			haveSpan        bool
+			oldestValid     = latest - numTimeBuckets // exclusive lower bound
+		)
+		// Same snap rule as the locked path: a bucket ending at or
+		// before the window start is excluded, one straddling it
+		// contributes whole: include iff time.Unix(idx+1,0) > since.
+		includesBucket := func(idx int64) bool {
+			return time.Unix(idx+1, 0).After(since)
+		}
+		for i := range v.buckets {
+			b := &v.buckets[i]
+			if b.idx <= oldestValid || !includesBucket(b.idx) {
+				continue
+			}
+			count += b.count
+			sum += b.sum
+			if b.min < minV {
+				minV = b.min
+			}
+			if b.max > maxV {
+				maxV = b.max
+			}
+			if !haveSpan {
+				haveSpan = true
+				firstNs, lastNs = b.firstNs, b.lastNs
+			} else {
+				if b.firstNs < firstNs {
+					firstNs = b.firstNs
+				}
+				if b.lastNs > lastNs {
+					lastNs = b.lastNs
+				}
+			}
+		}
+		if useHot && h.idx > oldestValid && includesBucket(h.idx) {
+			count += int(h.count)
+			sum += h.sum
+			if h.min < minV {
+				minV = h.min
+			}
+			if h.max > maxV {
+				maxV = h.max
+			}
+			if !haveSpan {
+				haveSpan = true
+				firstNs, lastNs = h.firstNs, h.lastNs
+			} else {
+				if h.firstNs < firstNs {
+					firstNs = h.firstNs
+				}
+				if h.lastNs > lastNs {
+					lastNs = h.lastNs
+				}
+			}
+		}
+		if count == 0 && agg != AggCount && agg != AggRate && agg != AggSum {
+			return 0, true, ErrNoData
+		}
+		switch agg {
+		case AggCount:
+			return float64(count), true, nil
+		case AggSum:
+			return sum, true, nil
+		case AggRate:
+			if count < 2 {
+				return 0, true, nil
+			}
+			span := float64(lastNs-firstNs) / float64(time.Second)
+			if span <= 0 {
+				return 0, true, nil
+			}
+			return float64(count) / span, true, nil
+		case AggMean:
+			return sum / float64(count), true, nil
+		case AggMin:
+			return minV, true, nil
+		case AggMax:
+			return maxV, true, nil
+		default:
+			return 0, false, nil
+		}
+	}
+	return 0, false, nil
+}

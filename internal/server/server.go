@@ -47,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"contexp/internal/bifrost"
@@ -104,6 +105,14 @@ type Config struct {
 	// Logf, when set, receives one structured line per request (method,
 	// path, status, duration, tenant, request ID). Optional.
 	Logf func(format string, args ...any)
+	// StatusCacheTTL bounds how long /healthz and /v1/admin/tenants may
+	// serve one assembled status snapshot. Assembling the snapshot walks
+	// every run and every tenant's footprint; under load-balancer probes
+	// and fleet dashboards polling hundreds of times a second that walk
+	// would dominate, so both endpoints share a snapshot rebuilt at most
+	// once per TTL (single-flight: concurrent expirations rebuild once).
+	// 0 applies the 1s default; negative disables caching.
+	StatusCacheTTL time.Duration
 }
 
 // Server serves the control-plane API.
@@ -112,6 +121,11 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 	start   time.Time
+
+	// statusCache is the shared /healthz + /v1/admin/tenants snapshot;
+	// statusMu single-flights its rebuilds (see Config.StatusCacheTTL).
+	statusMu    sync.Mutex
+	statusCache atomic.Pointer[statusSnapshot]
 
 	// demo, when set, is reported by /healthz and drives traffic.
 	demo *Demo
@@ -763,6 +777,9 @@ type EngineHealth struct {
 	// write-ahead journal; non-zero means the durable audit trail has
 	// gaps.
 	JournalErrors int64 `json:"journalErrors"`
+	// EvalPlane reports the evaluation dispatcher: pool width,
+	// tick-cache coalescing counters, and inline-fallback evaluations.
+	EvalPlane bifrost.EvalPlaneStats `json:"evalPlane"`
 }
 
 // JournalHealth reports the write-ahead journal backing run state.
@@ -792,7 +809,49 @@ type RouterHealth struct {
 	SnapshotVersion uint64   `json:"snapshotVersion"`
 }
 
+// statusSnapshot is one assembled status view shared by /healthz and
+// /v1/admin/tenants. It is immutable once published.
+type statusSnapshot struct {
+	at     time.Time
+	health Health
+	usage  []TenantUsage
+}
+
+// defaultStatusCacheTTL is how long a status snapshot stays fresh when
+// Config.StatusCacheTTL is zero.
+const defaultStatusCacheTTL = time.Second
+
+// status returns the current snapshot, rebuilding it at most once per
+// TTL. Concurrent callers racing an expired snapshot rebuild it once
+// (single flight); everyone else reads the published pointer lock-free.
+func (s *Server) status() *statusSnapshot {
+	ttl := s.cfg.StatusCacheTTL
+	if ttl == 0 {
+		ttl = defaultStatusCacheTTL
+	}
+	if ttl > 0 {
+		if snap := s.statusCache.Load(); snap != nil && time.Since(snap.at) < ttl {
+			return snap
+		}
+	}
+	s.statusMu.Lock()
+	defer s.statusMu.Unlock()
+	if ttl > 0 {
+		if snap := s.statusCache.Load(); snap != nil && time.Since(snap.at) < ttl {
+			return snap
+		}
+	}
+	snap := s.buildStatus()
+	s.statusCache.Store(snap)
+	return snap
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.status().health)
+}
+
+// buildStatus assembles a fresh status snapshot from every component.
+func (s *Server) buildStatus() *statusSnapshot {
 	byStatus := make(map[string]int)
 	for _, run := range s.cfg.Engine.Runs() {
 		byStatus[run.Status().String()]++
@@ -806,6 +865,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Evaluations:   evals,
 			BusyTime:      busy.Round(time.Microsecond).String(),
 			JournalErrors: s.cfg.Engine.JournalErrors(),
+			EvalPlane:     s.cfg.Engine.EvalPlane(),
 		},
 		Store: StoreHealth{
 			Series: s.cfg.Store.SeriesCount(),
@@ -861,10 +921,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.demo != nil {
 		h.Demo = s.demo.Health()
 	}
-	if usage := s.tenantUsage(); len(usage) > 1 || (len(usage) == 1 && usage[0].Name != tenancy.Display("")) {
+	usage := s.tenantUsage()
+	if len(usage) > 1 || (len(usage) == 1 && usage[0].Name != tenancy.Display("")) {
 		h.Tenants = usage
 	}
-	writeJSON(w, http.StatusOK, h)
+	return &statusSnapshot{at: time.Now(), health: h, usage: usage}
 }
 
 // tenantUsage assembles the per-tenant footprint from every plane that
@@ -919,5 +980,5 @@ func (s *Server) tenantUsage() []TenantUsage {
 // secrets; deployments needing stricter separation front this route
 // with their own proxy rules.
 func (s *Server) handleAdminTenants(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"items": s.tenantUsage()})
+	writeJSON(w, http.StatusOK, map[string]any{"items": s.status().usage})
 }

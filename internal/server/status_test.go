@@ -1,0 +1,90 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"contexp/internal/metrics"
+)
+
+func healthOf(t *testing.T, body string) Health {
+	t.Helper()
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("bad health payload: %v\n%s", err, body)
+	}
+	return h
+}
+
+// TestStatusCacheCoalescesReads verifies /healthz serves one assembled
+// snapshot for the TTL window: state changes between two requests
+// inside the window are invisible, and a fresh snapshot appears after
+// expiry.
+func TestStatusCacheCoalescesReads(t *testing.T) {
+	e := newCustomEnv(t, func(c *Config) { c.StatusCacheTTL = 200 * time.Millisecond })
+
+	code, body := e.do(http.MethodGet, "/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	before := healthOf(t, body)
+	if before.Store.Series != 0 {
+		t.Fatalf("fresh store should report 0 series, got %d", before.Store.Series)
+	}
+
+	// Mutate state the snapshot covers.
+	e.store.Record("rt", metrics.Scope{Service: "svc", Version: "v1"}, time.Now(), 1)
+
+	if _, body = e.do(http.MethodGet, "/healthz", ""); healthOf(t, body).Store.Series != 0 {
+		t.Fatal("second read inside the TTL should serve the cached snapshot")
+	}
+
+	time.Sleep(250 * time.Millisecond)
+	if _, body = e.do(http.MethodGet, "/healthz", ""); healthOf(t, body).Store.Series != 1 {
+		t.Fatal("read after TTL expiry should rebuild the snapshot")
+	}
+}
+
+// TestStatusCacheDisabled verifies a negative TTL turns the snapshot
+// cache off entirely.
+func TestStatusCacheDisabled(t *testing.T) {
+	e := newCustomEnv(t, func(c *Config) { c.StatusCacheTTL = -1 })
+
+	if _, body := e.do(http.MethodGet, "/healthz", ""); healthOf(t, body).Store.Series != 0 {
+		t.Fatal("fresh store should report 0 series")
+	}
+	e.store.Record("rt", metrics.Scope{Service: "svc", Version: "v1"}, time.Now(), 1)
+	if _, body := e.do(http.MethodGet, "/healthz", ""); healthOf(t, body).Store.Series != 1 {
+		t.Fatal("with caching disabled every read should rebuild")
+	}
+}
+
+// TestStatusSharedWithAdminTenants verifies /v1/admin/tenants reads the
+// same snapshot /healthz does — one assembly serves both surfaces.
+func TestStatusSharedWithAdminTenants(t *testing.T) {
+	e := newCustomEnv(t, nil) // default 1s TTL
+
+	// Prime via the admin surface.
+	if code, _ := e.do(http.MethodGet, "/v1/admin/tenants", ""); code != http.StatusOK {
+		t.Fatalf("admin tenants: %d", code)
+	}
+	e.store.Record("rt", metrics.Scope{Service: "svc", Version: "v1"}, time.Now(), 1)
+	// The healthz that follows must reuse the snapshot the admin call
+	// primed.
+	if _, body := e.do(http.MethodGet, "/healthz", ""); healthOf(t, body).Store.Series != 0 {
+		t.Fatal("healthz should share the snapshot primed by /v1/admin/tenants")
+	}
+}
+
+// TestHealthReportsEvalPlane verifies the dispatcher's counters ride
+// along in the engine health section.
+func TestHealthReportsEvalPlane(t *testing.T) {
+	e := newEnv(t)
+	_, body := e.do(http.MethodGet, "/healthz", "")
+	h := healthOf(t, body)
+	if h.Engine.EvalPlane.Workers < 1 {
+		t.Fatalf("evalPlane.workers = %d; want >= 1", h.Engine.EvalPlane.Workers)
+	}
+}
